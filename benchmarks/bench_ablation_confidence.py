@@ -1,0 +1,62 @@
+"""Ablation — confidence-counter policy.
+
+The paper adopts the +2/−1, 3-bit, threshold-4 policy from [28, 30].
+This bench sweeps alternatives on the HGVQ predictor in the pipeline and
+verifies the expected accuracy/coverage trade-off: stricter gating buys
+accuracy with coverage, looser gating the reverse.
+"""
+
+from repro.analysis.stats import mean
+from repro.harness.experiments import PIPELINE_COPIES
+from repro.harness.report import ExperimentResult
+from repro.pipeline import HGVQAdapter, OutOfOrderCore
+from repro.predictors import ConfidenceTable
+from repro.trace.workloads import get
+
+POLICIES = {
+    "paper(+2/-1,t4)": dict(bits=3, up=2, down=1, threshold=4),
+    "strict(+1/-2,t6)": dict(bits=3, up=1, down=2, threshold=6),
+    "loose(+2/-1,t2)": dict(bits=3, up=2, down=1, threshold=2),
+    "ungated(t0)": dict(bits=3, up=2, down=1, threshold=0),
+}
+
+BENCHES = ["bzip2", "mcf", "parser", "vortex"]
+
+
+def run_sweep(length=30_000):
+    result = ExperimentResult(
+        name="ablation_confidence",
+        title="HGVQ accuracy/coverage vs confidence policy",
+        columns=["policy", "accuracy", "coverage"],
+        notes=["paper policy: +2 correct / -1 incorrect, confident >= 4"],
+    )
+    for name, params in POLICIES.items():
+        accs, covs = [], []
+        for bench in BENCHES:
+            adapter = HGVQAdapter(
+                order=32, confidence=ConfidenceTable(**params))
+            core = OutOfOrderCore(value_predictor=adapter)
+            core.run(get(bench).trace(length, code_copies=PIPELINE_COPIES))
+            accs.append(adapter.stats.accuracy)
+            covs.append(adapter.stats.coverage)
+        result.add_row(name, mean(accs), mean(covs))
+    return result
+
+
+def bench_confidence_policy(benchmark, archive):
+    result = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    archive(result)
+
+    paper = result.row("paper(+2/-1,t4)")
+    strict = result.row("strict(+1/-2,t6)")
+    loose = result.row("loose(+2/-1,t2)")
+    ungated = result.row("ungated(t0)")
+    # Stricter gating: higher accuracy, lower coverage than the paper's.
+    assert strict[1] >= paper[1] - 0.01
+    assert strict[2] < paper[2]
+    # Looser gating: more coverage, less accuracy.
+    assert loose[2] > paper[2]
+    assert loose[1] <= paper[1] + 0.01
+    # No gate at all maximises coverage and minimises accuracy.
+    assert ungated[2] >= loose[2]
+    assert ungated[1] <= loose[1]

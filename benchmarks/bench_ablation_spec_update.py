@@ -1,0 +1,54 @@
+"""Ablation — speculative predictor update (Section 3.1's mechanism).
+
+The paper observes that value delay "exists for local value predictors ...
+except for cases such as tight loop code, which calls for the speculative
+update based on the prediction" (citing the branch-history analogue
+[10]).  This bench turns the mechanism on and off for the pipeline's
+local stride predictor and measures the accuracy/coverage it recovers.
+"""
+
+from repro.analysis.stats import mean
+from repro.harness.experiments import PIPELINE_COPIES
+from repro.harness.report import ExperimentResult
+from repro.pipeline import LocalPredictorAdapter, OutOfOrderCore
+from repro.predictors import StridePredictor
+from repro.trace.workloads import BENCHMARKS, get
+
+
+def run_sweep(length=30_000):
+    result = ExperimentResult(
+        name="ablation_spec_update",
+        title="local stride: plain vs speculatively-updated (pipeline)",
+        columns=["bench", "plain_acc", "plain_cov", "spec_acc", "spec_cov"],
+        notes=["Section 3.1: tight-loop code calls for speculative update"],
+    )
+    for bench in BENCHMARKS:
+        row = []
+        for spec in (False, True):
+            adapter = LocalPredictorAdapter(
+                StridePredictor(entries=8192), spec_update=spec)
+            core = OutOfOrderCore(value_predictor=adapter)
+            core.run(get(bench).trace(length, code_copies=PIPELINE_COPIES))
+            row += [adapter.stats.accuracy, adapter.stats.coverage]
+        result.add_row(bench, *row)
+    result.add_row("average",
+                   *(mean(result.column(c)) for c in result.columns[1:]))
+    return result
+
+
+def bench_spec_update(benchmark, archive):
+    result = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    archive(result)
+
+    plain_cov = result.cell("average", "plain_cov")
+    plain_acc = result.cell("average", "plain_acc")
+    spec_cov = result.cell("average", "spec_cov")
+    spec_acc = result.cell("average", "spec_acc")
+    # On the calibrated workloads same-PC gaps are mostly wide enough
+    # that staleness is rare; the mechanism must never hurt, and the
+    # accuracy gain (stale chains corrected) should be visible.  The
+    # dramatic tight-loop case is unit-tested in
+    # tests/test_speculative_update.py (0% -> 99% raw accuracy).
+    assert spec_cov >= plain_cov - 0.005
+    assert spec_acc >= plain_acc - 0.005
+    assert spec_acc > 0.75

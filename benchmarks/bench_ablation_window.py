@@ -1,0 +1,49 @@
+"""Ablation — instruction-window (ROB) size and the mcf speedup.
+
+Section 7 attributes mcf's 53% speedup partly to the window: "As mcf is
+highly memory intensive ..., a large window size of 64 enables more
+missing loads to be predicted leading to higher speedups."  This bench
+sweeps the ROB size on mcf and checks that the gDiff speedup grows with
+the window.
+"""
+
+from repro.harness.experiments import PIPELINE_COPIES, great_latency_config
+from repro.harness.report import ExperimentResult
+from repro.pipeline import HGVQAdapter, OutOfOrderCore
+from repro.trace.workloads import get
+
+WINDOWS = [16, 32, 64, 128]
+
+
+def run_sweep(length=30_000, bench="mcf"):
+    result = ExperimentResult(
+        name="ablation_window",
+        title=f"gDiff(HGVQ) speedup vs ROB size ({bench})",
+        columns=["window", "baseline_ipc", "gdiff_ipc", "speedup"],
+        notes=["paper: the 64-entry window is what lets mcf's missing "
+               "loads be predicted and overlapped"],
+    )
+    for window in WINDOWS:
+        config = great_latency_config()
+        config.rob_entries = window
+        trace = get(bench).trace(length, code_copies=PIPELINE_COPIES)
+        baseline = OutOfOrderCore(config=config).run(trace)
+        config2 = great_latency_config()
+        config2.rob_entries = window
+        spec = OutOfOrderCore(
+            config=config2, value_predictor=HGVQAdapter(order=32),
+            speculate=True,
+        ).run(get(bench).trace(length, code_copies=PIPELINE_COPIES))
+        result.add_row(str(window), baseline.ipc, spec.ipc,
+                       spec.ipc / baseline.ipc - 1)
+    return result
+
+
+def bench_window_size(benchmark, archive):
+    result = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    archive(result)
+
+    speedups = {row[0]: row[3] for row in result.rows}
+    # A bigger window lets value prediction overlap more misses.
+    assert speedups["64"] > speedups["16"]
+    assert speedups["64"] > 0.1

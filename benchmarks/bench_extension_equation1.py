@@ -1,0 +1,48 @@
+"""Extension — how much does Equation 1's general form leave on the table?
+
+Section 2 restricts the general linear model (Equation 1) to the
+variable-stride special case (Equation 2) for tractability.  This bench
+quantifies the restriction on the full suite: the marginal gain of a
+two-term linear model over the single-term stride model, and an
+oracle-style least-squares Equation-1 ceiling.  The result supports the
+paper's design call: the special case captures almost all of the linear
+structure present.
+"""
+
+from repro.analysis import equation1_ceiling, two_term_predictability
+from repro.analysis.stats import mean
+from repro.harness.report import ExperimentResult
+from repro.trace.workloads import BENCHMARKS, get
+
+
+def run_sweep(length=50_000):
+    result = ExperimentResult(
+        name="extension_equation1",
+        title="Equation 2 (stride) vs two-term vs full-Equation-1 ceiling",
+        columns=["bench", "one_term", "two_term", "gain", "eq1_ceiling"],
+        notes=["supports the paper's restriction to the stride special "
+               "case: the extra linear terms buy almost nothing"],
+    )
+    for bench in BENCHMARKS:
+        trace = get(bench).trace(length)
+        two = two_term_predictability(trace)
+        ceiling = equation1_ceiling(trace)
+        result.add_row(bench, two["one_term"], two["two_term"],
+                       two["gain"], ceiling["fit_accuracy"])
+    result.add_row("average",
+                   *(mean(result.column(c)) for c in result.columns[1:]))
+    return result
+
+
+def bench_equation1(benchmark, archive):
+    result = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    archive(result)
+
+    one = result.cell("average", "one_term")
+    gain = result.cell("average", "gain")
+    ceiling = result.cell("average", "eq1_ceiling")
+    # The stride special case is where the action is.
+    assert one > 0.5
+    assert gain < 0.1
+    # The oracle ceiling sits near the one-term detector, not far above.
+    assert abs(ceiling - one) < 0.2

@@ -1,0 +1,60 @@
+"""Extension — the 2M-entry Markov variant discussed in Section 6's text.
+
+"When its size increases from 256K-entry to 2M-entry, the Markov
+predictor achieves decent average coverage (92%) and accuracy (33%) but
+still shows much lower prediction capability than gDiff for benchmarks
+including bzip2, gap, gzip and perl."  This bench compares the two
+Markov sizes against the 4K-entry gDiff on the load-address stream.
+"""
+
+from repro.analysis.stats import mean
+from repro.core import GDiffPredictor
+from repro.harness.report import ExperimentResult
+from repro.harness.runner import run_address_prediction
+from repro.predictors import MarkovPredictor
+from repro.trace.workloads import BENCHMARKS, get
+
+
+def run_sweep(length=60_000):
+    result = ExperimentResult(
+        name="extension_markov_2m",
+        title="Markov 256K vs 2M entries vs gDiff (load addresses)",
+        columns=["bench", "m256k_acc", "m256k_cov", "m2m_acc", "m2m_cov",
+                 "gs_acc", "gs_cov"],
+        notes=["paper: 2M Markov reaches 92% coverage / 33% accuracy, "
+               "still below gDiff's capability"],
+    )
+    for bench in BENCHMARKS:
+        trace = get(bench).trace(length)
+        predictors = {
+            "m256k": MarkovPredictor(entries=262144, ways=4),
+            "m2m": MarkovPredictor(entries=2097152, ways=4),
+            "gs": GDiffPredictor(order=32, entries=4096),
+        }
+        stats = run_address_prediction(trace, predictors)
+        result.add_row(
+            bench,
+            stats["m256k"].accuracy, stats["m256k"].coverage,
+            stats["m2m"].accuracy, stats["m2m"].coverage,
+            stats["gs"].accuracy, stats["gs"].coverage,
+        )
+    result.add_row("average",
+                   *(mean(result.column(c)) for c in result.columns[1:]))
+    return result
+
+
+def bench_markov_2m(benchmark, archive):
+    result = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    archive(result)
+
+    m256_cov = result.cell("average", "m256k_cov")
+    m2m_cov = result.cell("average", "m2m_cov")
+    m2m_acc = result.cell("average", "m2m_acc")
+    gs_acc = result.cell("average", "gs_acc")
+    gs_cov = result.cell("average", "gs_cov")
+    # Capacity helps coverage (or at worst changes nothing — our streams
+    # are smaller than 256K transitions), and even the big Markov table
+    # stays far behind gDiff's accuracy at comparable-or-less coverage.
+    assert m2m_cov >= m256_cov - 0.01
+    assert gs_acc > m2m_acc + 0.2
+    assert gs_cov > m2m_cov

@@ -1,0 +1,35 @@
+"""Figure 8 — profile value-prediction accuracy.
+
+Paper: local stride 57%, DFCM 64%, gDiff(q=8) 73% average over
+SPECint2000; gDiff wins on every benchmark; mcf is its best (86%); gap is
+hard for everyone (~40%).
+"""
+
+from repro.harness import run_experiment
+from repro.trace.workloads import BENCHMARKS
+
+
+def bench_fig8(benchmark, archive):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig8", length=100_000),
+        rounds=1, iterations=1,
+    )
+    archive(result)
+
+    stride, dfcm, gdiff = (result.cell("average", c)
+                           for c in ("stride", "dfcm", "gdiff8"))
+    # Shape: gDiff > DFCM > stride on average, by paper-scale margins.
+    assert gdiff > dfcm > stride
+    assert gdiff - stride > 0.08
+    assert 0.45 <= stride <= 0.68
+    assert 0.58 <= gdiff <= 0.82
+    # gDiff beats local stride on every single benchmark except (at most)
+    # gap, the paper's noted hard case.
+    losers = [b for b in BENCHMARKS
+              if result.cell(b, "gdiff8") <= result.cell(b, "stride")]
+    assert set(losers) <= {"gap"}
+    # mcf is gDiff's best benchmark; gap its worst.
+    gdiff_col = {b: result.cell(b, "gdiff8") for b in BENCHMARKS}
+    assert max(gdiff_col, key=gdiff_col.get) == "mcf"
+    assert min(gdiff_col, key=gdiff_col.get) == "gap"
+    assert gdiff_col["mcf"] > 0.8

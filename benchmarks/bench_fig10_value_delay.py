@@ -1,0 +1,28 @@
+"""Figure 10 — gDiff accuracy vs value delay.
+
+Paper: average accuracy drops from 73% at T=0 to 52% at T=16; gap is the
+exception whose best accuracy is not at T=0 (its long chains only fit the
+queue's visible window once the delay pushes it back).
+"""
+
+from repro.harness import run_experiment
+
+
+def bench_fig10(benchmark, archive):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig10", length=80_000),
+        rounds=1, iterations=1,
+    )
+    archive(result)
+
+    t0 = result.cell("average", "T=0")
+    t16 = result.cell("average", "T=16")
+    # Value delay costs a large accuracy slice.
+    assert t16 < t0 - 0.15
+    # The ends of the sweep bracket everything else loosely: T=0 is best.
+    for column in ("T=2", "T=4", "T=8", "T=16"):
+        assert result.cell("average", column) < t0
+    # gap's anomaly: its best delay is NOT zero (paper: peak at T=4).
+    gap = {c: result.cell("gap", c)
+           for c in ("T=0", "T=2", "T=4", "T=8", "T=16")}
+    assert max(gap, key=gap.get) != "T=0"

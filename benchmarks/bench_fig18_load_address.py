@@ -1,0 +1,55 @@
+"""Figure 18 — load-address predictability (all loads and missing loads).
+
+Paper, all loads (18a): gDiff 86% accuracy / 63% coverage beats local
+stride (86% / 55%) on coverage at equal accuracy, while the first-order
+Markov predictor has high coverage (87%) but poor accuracy (33%).
+Missing loads only (18b): gDiff 53%/33% vs local stride 55%/25% vs
+Markov 20%/69%.
+"""
+
+from repro.harness import run_experiment
+
+
+def bench_fig18a_all_loads(benchmark, archive):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig18a", length=80_000),
+        rounds=1, iterations=1,
+    )
+    archive(result)
+
+    gs_acc = result.cell("average", "gs_acc")
+    gs_cov = result.cell("average", "gs_cov")
+    ls_acc = result.cell("average", "ls_acc")
+    ls_cov = result.cell("average", "ls_cov")
+    mk_acc = result.cell("average", "markov_acc")
+    mk_cov = result.cell("average", "markov_cov")
+
+    # gDiff's coverage advantage at comparable accuracy.
+    assert gs_cov > ls_cov
+    assert abs(gs_acc - ls_acc) < 0.12
+    # Markov: clearly the least accurate, with nontrivial tag-hit
+    # coverage.  (The paper's Markov coverage is 87%: real programs
+    # revisit addresses far more than synthetic streams can; the
+    # accuracy ordering — Markov worst by a wide margin — is the
+    # preserved shape.  See EXPERIMENTS.md.)
+    assert mk_acc < gs_acc - 0.2
+    assert mk_acc < ls_acc - 0.2
+    assert mk_cov > 0.10
+
+
+def bench_fig18b_missing_loads(benchmark, archive):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig18b", length=80_000),
+        rounds=1, iterations=1,
+    )
+    archive(result)
+
+    gs_cov = result.cell("average", "gs_cov")
+    ls_cov = result.cell("average", "ls_cov")
+    mk_acc = result.cell("average", "markov_acc")
+    gs_acc = result.cell("average", "gs_acc")
+    # Misses are harder than hits for everyone; gDiff's coverage stays at
+    # least competitive with local stride (paper: 33% vs 25%), and the
+    # Markov predictor is by far the least accurate.
+    assert gs_cov > ls_cov - 0.02
+    assert mk_acc < gs_acc - 0.2

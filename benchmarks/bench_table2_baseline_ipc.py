@@ -1,0 +1,29 @@
+"""Table 2 — baseline IPC of the Section 7 machine (no value speculation).
+
+The source text of the paper does not preserve Table 2's numbers, so the
+assertions here check internal consistency rather than absolute anchors:
+a 4-wide machine, IPC bounded by width, and mcf — "highly memory
+intensive (L1 D-cache miss rate 44.08%)" — as the most memory-bound
+benchmark.
+"""
+
+from repro.harness import run_experiment
+from repro.trace.workloads import BENCHMARKS
+
+
+def bench_table2(benchmark, archive):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table2", length=40_000),
+        rounds=1, iterations=1,
+    )
+    archive(result)
+
+    for bench in BENCHMARKS:
+        ipc = result.cell(bench, "ipc")
+        assert 0.2 < ipc <= 4.0
+    dmiss = {b: result.cell(b, "dmiss") for b in BENCHMARKS}
+    # mcf has by far the highest D-cache miss rate (paper: 44%).
+    assert max(dmiss, key=dmiss.get) == "mcf"
+    assert dmiss["mcf"] > 0.3
+    others = [v for b, v in dmiss.items() if b != "mcf"]
+    assert dmiss["mcf"] > 1.5 * max(others)

@@ -1,0 +1,29 @@
+"""Shared infrastructure for the per-figure benchmark harness.
+
+Each ``bench_*`` module regenerates one of the paper's tables or figures,
+asserts the headline *shape* (who wins, roughly by how much, where
+crossovers fall), and archives the rendered table under
+``benchmarks/results/`` so the regenerated evaluation is inspectable after
+a run.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def archive():
+    """Return a callable that saves a rendered experiment table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _archive(result):
+        path = RESULTS_DIR / f"{result.name}.txt"
+        path.write_text(result.render() + "\n")
+        print()
+        print(result.render())
+        return result
+
+    return _archive

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Build a custom workload and evaluate value speculation end to end.
+
+Shows the full public API surface in one place:
+
+1. compose a synthetic program from kernels (a pointer-chasing hot loop
+   with correlated fields, plus dependent-chain arithmetic);
+2. inspect its locality mix with the offline classifier;
+3. run the cycle-level OOO core with and without gDiff-HGVQ value
+   speculation and report the speedup.
+"""
+
+from repro.analysis import classify_trace
+from repro.pipeline import HGVQAdapter, LocalPredictorAdapter, OutOfOrderCore
+from repro.predictors import StridePredictor
+from repro.trace.kernels import (
+    ChainKernel,
+    CounterClusterKernel,
+    PadKernel,
+    PointerChaseKernel,
+)
+from repro.trace.synthetic import KernelSlot, LoopGroup, WorkloadSpec
+
+
+def build_spec() -> WorkloadSpec:
+    return WorkloadSpec(
+        name="my-pointer-app",
+        seed=99,
+        description="pointer chase + dependent deltas",
+        groups=[
+            LoopGroup(
+                slots=[
+                    KernelSlot(lambda: PointerChaseKernel(
+                        node_stride=96, field_offset=16, payload_delta=32,
+                        fields=3, jump_prob=0.1, footprint=1 << 22)),
+                    KernelSlot(lambda: CounterClusterKernel(count=3,
+                                                            stride=96)),
+                    KernelSlot(lambda: PadKernel(count=48, store_every=8)),
+                ],
+                iterations=48,
+            ),
+            LoopGroup(
+                slots=[
+                    KernelSlot(lambda: ChainKernel(
+                        uses=4, offsets=(8, 16, 24, 32),
+                        footprint=1 << 14, spread=16)),
+                    KernelSlot(lambda: PadKernel(count=8)),
+                ],
+                iterations=40,
+            ),
+        ],
+    )
+
+
+def main() -> None:
+    spec = build_spec()
+    trace = spec.trace(60_000)
+    print(f"workload: {spec.name} — {trace.stats}")
+
+    mix = classify_trace(trace)
+    print("\nlocal locality mix (fraction of dynamic values):")
+    for cls, fraction in sorted(mix.items(), key=lambda kv: -kv[1]):
+        if fraction:
+            print(f"  {cls.value:9s} {fraction:6.1%}")
+
+    baseline = OutOfOrderCore().run(spec.trace(60_000))
+    print(f"\nbaseline          : IPC {baseline.ipc:.2f} "
+          f"(D-miss {baseline.dcache_miss_rate:.0%})")
+
+    for label, adapter in [
+        ("local stride", LocalPredictorAdapter(StridePredictor())),
+        ("gDiff (HGVQ)", HGVQAdapter(order=32)),
+    ]:
+        core = OutOfOrderCore(value_predictor=adapter, speculate=True)
+        result = core.run(spec.trace(60_000))
+        speedup = result.ipc / baseline.ipc - 1
+        print(f"{label:18s}: IPC {result.ipc:.2f} ({speedup:+.1%}), "
+              f"prediction acc {adapter.stats.accuracy:.0%} / "
+              f"cov {adapter.stats.coverage:.0%}, "
+              f"{result.reissues} reissues")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+#!/usr/bin/env python
+"""Use gDiff-detected global stride locality to drive a prefetcher.
+
+Section 6 of the paper shows gDiff predicting the addresses of missing
+loads better than local-stride or Markov predictors, and names memory
+prefetching as the natural extension.  The library builds that extension
+in :mod:`repro.prefetch`; this example runs it across the suite and
+reports the misses it eliminates.
+"""
+
+from repro.prefetch import simulate_prefetching
+from repro.trace.workloads import BENCHMARKS, get
+
+
+def main() -> None:
+    print(f"{'bench':8s} {'base miss':>10s} {'w/ prefetch':>12s} "
+          f"{'coverage':>9s} {'accuracy':>9s}")
+    print("-" * 54)
+    for bench in BENCHMARKS:
+        stats = simulate_prefetching(get(bench).trace(80_000))
+        print(f"{bench:8s} {stats.baseline_miss_rate:10.1%} "
+              f"{stats.prefetched_miss_rate:12.1%} "
+              f"{stats.coverage:9.1%} {stats.accuracy:9.1%}")
+    print(
+        "\ncoverage = baseline misses eliminated; accuracy = issued "
+        "prefetches whose line\nthe next access used.  The allocation-"
+        "order strides between record fields make\nthe address stream "
+        "globally stride predictable even where the pointer chase\n"
+        "itself jumps — the Section 6 observation that motivates "
+        "gDiff-driven prefetching."
+    )
+
+
+if __name__ == "__main__":
+    main()

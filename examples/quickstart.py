@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Quickstart: run the gDiff predictor against the local baselines.
+
+Builds the parser-like synthetic benchmark (the paper's motivating
+workload), runs four predictors over its committed value stream, and
+prints the profile accuracy comparison — a one-benchmark slice of the
+paper's Figure 8.
+
+Usage:
+    python examples/quickstart.py [benchmark] [trace_length]
+"""
+
+import sys
+
+from repro.core import GDiffPredictor
+from repro.harness import run_value_prediction
+from repro.predictors import DFCMPredictor, LastValuePredictor, StridePredictor
+from repro.trace.workloads import BENCHMARKS, get
+
+
+def main() -> None:
+    bench = sys.argv[1] if len(sys.argv) > 1 else "parser"
+    length = int(sys.argv[2]) if len(sys.argv) > 2 else 100_000
+    if bench not in BENCHMARKS:
+        raise SystemExit(f"unknown benchmark {bench!r}; pick from {BENCHMARKS}")
+
+    spec = get(bench)
+    print(f"benchmark : {bench} — {spec.description}")
+    trace = spec.trace(length)
+    print(f"trace     : {trace.stats}")
+
+    predictors = {
+        "last-value": LastValuePredictor(entries=None),
+        "local stride": StridePredictor(entries=None),
+        "local context (DFCM)": DFCMPredictor(order=4, l1_entries=None),
+        "gDiff (queue=8)": GDiffPredictor(order=8, entries=None),
+        "gDiff (queue=32)": GDiffPredictor(order=32, entries=None),
+    }
+    stats = run_value_prediction(trace, predictors)
+
+    print(f"\n{'predictor':24s} {'accuracy':>9s}")
+    print("-" * 35)
+    for name, stat in stats.items():
+        print(f"{name:24s} {stat.raw_accuracy:9.1%}")
+    print("\nGlobal stride locality is what separates the gDiff rows from "
+          "the local ones:\nthe spill/fill and dependent-chain values in "
+          "this stream are noise to any\nper-instruction history, but a "
+          "constant offset from a recent global value.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Recreate the paper's motivating example (Figures 1 and 2).
+
+The paper opens with a load from the benchmark *parser* whose value
+sequence "looks like random noise" to every local predictor (4% for local
+stride, 2% for DFCM) yet is an exact copy of an earlier instruction's
+result — a register spill/fill.  This script:
+
+1. generates the spill/fill structure in isolation,
+2. prints the fill's value sequence (the paper's Figure 1),
+3. shows per-predictor accuracy on that one instruction, and
+4. uses the offline analyses to locate the correlation and its distance.
+"""
+
+from repro.analysis import (
+    classify_stream,
+    correlation_distance_profile,
+    global_stride_predictability,
+)
+from repro.core import GDiffPredictor
+from repro.predictors import DFCMPredictor, StridePredictor
+from repro.trace import OpClass
+from repro.trace.kernels import SpillFillKernel
+from repro.trace.synthetic import KernelSlot, LoopGroup, WorkloadSpec
+
+
+def build_trace(length: int = 30_000):
+    spec = WorkloadSpec(
+        name="spill-fill-demo",
+        seed=2003,
+        groups=[LoopGroup(
+            slots=[KernelSlot(lambda: SpillFillKernel(gap=2, uses=0))],
+            iterations=64,
+        )],
+    )
+    return spec.trace(length)
+
+
+def find_fill_pc(trace):
+    """The fill is the last load of each block: the most frequent load PC
+    whose address was just stored."""
+    store_addrs = set()
+    fill_counts = {}
+    for insn in trace:
+        if insn.op is OpClass.STORE:
+            store_addrs.add(insn.addr)
+        elif insn.op is OpClass.LOAD and insn.addr in store_addrs:
+            fill_counts[insn.pc] = fill_counts.get(insn.pc, 0) + 1
+    return max(fill_counts, key=fill_counts.get)
+
+
+def main() -> None:
+    trace = build_trace()
+    fill_pc = find_fill_pc(trace)
+    fill_values = [i.value for i in trace
+                   if i.produces_value and i.pc == fill_pc]
+
+    print("The fill's value sequence (compare the paper's Figure 1 — noise "
+          "to any local history):")
+    print("  " + ", ".join(str(v % 1000) for v in fill_values[:20])
+          + ", ...   (last three digits shown)")
+    print(f"  offline classification: "
+          f"{classify_stream(fill_values).value}")
+
+    predictors = {
+        "local stride": StridePredictor(entries=None),
+        "local context (DFCM)": DFCMPredictor(order=4, l1_entries=None),
+        "gDiff (queue=8)": GDiffPredictor(order=8, entries=None),
+    }
+    hits = {name: 0 for name in predictors}
+    total = 0
+    for insn in trace:
+        if not insn.produces_value:
+            continue
+        for name, p in predictors.items():
+            prediction = p.predict(insn.pc)
+            if insn.pc == fill_pc and prediction == insn.value:
+                hits[name] += 1
+            p.update(insn.pc, insn.value)
+        if insn.pc == fill_pc:
+            total += 1
+
+    print(f"\nAccuracy on the fill instruction alone ({total} occurrences):")
+    for name, h in hits.items():
+        print(f"  {name:22s} {h / total:7.1%}")
+
+    profile = global_stride_predictability(trace, max_distance=8)
+    distance, rate, _ = profile.per_pc[fill_pc]
+    print(f"\nOffline global-stride analysis: the fill is {rate:.0%} "
+          f"predictable at global distance {distance}")
+    locked = correlation_distance_profile(trace, order=8)
+    print(f"gDiff's trained distance histogram: {locked}")
+    print("\nThe value is an exact copy of the correlated load's result — "
+          "stride 0 in the\nglobal value history, invisible to any local "
+          "history (the paper's Figure 2).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Seed-stability check: do the headline shapes survive reseeding?
+
+Every workload spec carries a fixed seed; the experiments are
+deterministic.  This script re-runs the central shape claims under
+several alternative seeds to confirm the calibration is not a
+single-seed artefact.  Used during development and for reviewer
+due-diligence; not part of the test suite (it takes a couple of
+minutes).
+
+Usage: python scripts/stability_check.py [n_seeds]
+"""
+
+import sys
+
+from repro.core import GDiffPredictor
+from repro.harness import run_value_prediction
+from repro.predictors import DFCMPredictor, StridePredictor
+from repro.trace.workloads import BENCHMARKS, get
+
+
+def fig8_shape(seed_offset: int, length: int = 60_000) -> dict:
+    """Return the three suite averages under a shifted seed."""
+    sums = {"stride": 0.0, "dfcm": 0.0, "gdiff8": 0.0}
+    for bench in BENCHMARKS:
+        spec = get(bench)
+        trace = spec.trace(length, seed=spec.seed + seed_offset)
+        stats = run_value_prediction(trace, {
+            "stride": StridePredictor(entries=None),
+            "dfcm": DFCMPredictor(order=4, l1_entries=None),
+            "gdiff8": GDiffPredictor(order=8, entries=None),
+        })
+        for key in sums:
+            sums[key] += stats[key].raw_accuracy
+    return {key: value / len(BENCHMARKS) for key, value in sums.items()}
+
+
+def main() -> None:
+    n_seeds = int(sys.argv[1]) if len(sys.argv) > 1 else 3
+    print(f"{'seed+':>6s} {'stride':>8s} {'dfcm':>8s} {'gdiff8':>8s}  shape")
+    ok = True
+    for offset in range(n_seeds):
+        averages = fig8_shape(offset)
+        holds = (averages["gdiff8"] > averages["dfcm"] > averages["stride"]
+                 and averages["gdiff8"] - averages["stride"] > 0.08)
+        ok &= holds
+        print(f"{offset:6d} {averages['stride']:8.1%} "
+              f"{averages['dfcm']:8.1%} {averages['gdiff8']:8.1%}  "
+              f"{'OK' if holds else 'BROKEN'}")
+    if not ok:
+        raise SystemExit("shape did not survive reseeding")
+    print("\nFigure 8's ordering (gdiff > dfcm > stride, +8pt margin) "
+          "holds under every seed tested.")
+
+
+if __name__ == "__main__":
+    main()

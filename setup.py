@@ -1,0 +1,10 @@
+"""Compatibility shim: the build environment has no `wheel` package and no
+network access, so `pip install -e .` (PEP 517 editable) cannot build a
+wheel.  `python setup.py develop` — or `pip install -e . --no-build-isolation`
+on environments with wheel available — installs the package identically.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

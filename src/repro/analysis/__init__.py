@@ -1,0 +1,34 @@
+"""Offline value-stream analysis tools.
+
+* :mod:`repro.analysis.locality` — detect global stride locality in a
+  value stream and profile correlation distances (the Section 2/3
+  analyses; the companion of the paper's reference [2]).
+* :mod:`repro.analysis.classify` — classify per-instruction local value
+  streams (constant / stride / periodic / random), used to validate that
+  synthetic workloads have the locality mix they claim.
+* :mod:`repro.analysis.stats` — small numeric helpers (means, harmonic
+  mean for speedups).
+"""
+
+from .classify import StreamClass, classify_stream, classify_trace
+from .linear import equation1_ceiling, two_term_predictability
+from .locality import (
+    CorrelationProfile,
+    correlation_distance_profile,
+    global_stride_predictability,
+)
+from .stats import geometric_mean, harmonic_mean_speedup, mean
+
+__all__ = [
+    "classify_stream",
+    "classify_trace",
+    "StreamClass",
+    "correlation_distance_profile",
+    "global_stride_predictability",
+    "CorrelationProfile",
+    "mean",
+    "geometric_mean",
+    "harmonic_mean_speedup",
+    "two_term_predictability",
+    "equation1_ceiling",
+]

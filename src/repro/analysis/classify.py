@@ -1,0 +1,95 @@
+"""Per-instruction local value-stream classification.
+
+Given a local value history (the sequence one static instruction
+produced), decide which of the paper's locality classes it belongs to:
+constant, stride, periodic (context), or unpredictable.  Used by the test
+suite to validate that each synthetic kernel produces the locality class
+it advertises, and available to users profiling their own traces.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, List, Sequence
+
+from ..trace.isa import Instruction
+from ..wordops import wsub
+
+
+class StreamClass(enum.Enum):
+    """Local value-stream classes (Section 2's taxonomy)."""
+
+    CONSTANT = "constant"
+    STRIDE = "stride"
+    PERIODIC = "periodic"
+    RANDOM = "random"
+    #: Not enough occurrences to say.
+    UNKNOWN = "unknown"
+
+
+def classify_stream(
+    values: Sequence[int],
+    max_period: int = 16,
+    tolerance: float = 0.9,
+) -> StreamClass:
+    """Classify one local value history.
+
+    Args:
+        values: the sequence of produced values, oldest first.
+        max_period: longest repetition period checked for the periodic
+            class.
+        tolerance: fraction of positions that must conform for a class to
+            be assigned (real streams have warm-up irregularities).
+    """
+    n = len(values)
+    if n < 4:
+        return StreamClass.UNKNOWN
+
+    constant_hits = sum(
+        1 for i in range(1, n) if values[i] == values[i - 1]
+    )
+    if constant_hits >= tolerance * (n - 1):
+        return StreamClass.CONSTANT
+
+    deltas = [wsub(values[i], values[i - 1]) for i in range(1, n)]
+    stride_hits = sum(
+        1 for i in range(1, len(deltas)) if deltas[i] == deltas[i - 1]
+    )
+    if stride_hits >= tolerance * (len(deltas) - 1):
+        return StreamClass.STRIDE
+
+    for period in range(2, min(max_period, n // 2) + 1):
+        hits = sum(
+            1 for i in range(period, n) if values[i] == values[i - period]
+        )
+        if hits >= tolerance * (n - period):
+            return StreamClass.PERIODIC
+
+    return StreamClass.RANDOM
+
+
+def classify_trace(
+    trace: Iterable[Instruction],
+    min_occurrences: int = 8,
+) -> Dict[StreamClass, float]:
+    """Classify every static instruction in a trace.
+
+    Returns the fraction of *dynamic* value-producing instructions whose
+    static instruction falls in each class — the trace's locality mix.
+    """
+    histories: Dict[int, List[int]] = {}
+    for insn in trace:
+        if insn.produces_value:
+            histories.setdefault(insn.pc, []).append(insn.value)
+    weights: Dict[StreamClass, int] = {cls: 0 for cls in StreamClass}
+    total = 0
+    for values in histories.values():
+        if len(values) < min_occurrences:
+            cls = StreamClass.UNKNOWN
+        else:
+            cls = classify_stream(values)
+        weights[cls] += len(values)
+        total += len(values)
+    if not total:
+        return {cls: 0.0 for cls in StreamClass}
+    return {cls: count / total for cls, count in weights.items()}

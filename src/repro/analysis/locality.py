@@ -1,0 +1,129 @@
+"""Detecting global stride locality in value streams (offline analyses).
+
+These tools answer the paper's Section 2 question — *does* a value stream
+contain global stride locality, and at what distances — independently of
+any particular predictor implementation:
+
+* :func:`global_stride_predictability` measures, per static instruction,
+  how often its value is expressible as ``x_{N-k} + a`` for a *stable*
+  (k, a) discovered on earlier occurrences — the idealised ceiling an
+  order-n gDiff could reach.
+* :func:`correlation_distance_profile` extracts the distribution of
+  selected distances from a trained gDiff predictor — the analysis the
+  paper delegates to its companion thesis [2].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.gdiff import GDiffPredictor
+from ..trace.isa import Instruction
+from ..wordops import wsub
+
+
+@dataclass
+class CorrelationProfile:
+    """Result of a global-stride locality analysis."""
+
+    #: Per-PC: (best distance, hit rate at that distance, occurrences).
+    per_pc: Dict[int, Tuple[int, float, int]] = field(default_factory=dict)
+    #: Aggregate histogram of best distances, weighted by occurrences.
+    distance_histogram: Dict[int, int] = field(default_factory=dict)
+    #: Fraction of all occurrences predictable at their PC's best distance.
+    overall: float = 0.0
+
+    def covered(self, max_distance: int) -> float:
+        """Fraction of correlated occurrences within *max_distance*.
+
+        The paper's queue-size question: how much of the locality would a
+        GVQ of this depth capture?
+        """
+        total = sum(self.distance_histogram.values())
+        if not total:
+            return 0.0
+        near = sum(n for d, n in self.distance_histogram.items()
+                   if d <= max_distance)
+        return near / total
+
+
+def global_stride_predictability(
+    trace: Iterable[Instruction],
+    max_distance: int = 32,
+) -> CorrelationProfile:
+    """Measure stride locality in the global value history of *trace*.
+
+    For every value-producing instruction occurrence, the difference
+    between its value and each of the ``max_distance`` preceding values is
+    computed; an occurrence counts as *globally stride predictable at
+    distance k* when the distance-k difference equals the distance-k
+    difference observed at the instruction's previous occurrence (the same
+    repeat-to-confirm criterion the gDiff table uses).  Each PC is scored
+    at its single best distance, mirroring the hardware's one selected
+    distance per entry.
+    """
+    history: List[int] = []
+    # Per-PC: previous occurrence's difference vector.
+    prev_diffs: Dict[int, List[Optional[int]]] = {}
+    # Per-PC: hit counts per distance, total scored occurrences.
+    hits: Dict[int, List[int]] = {}
+    totals: Dict[int, int] = {}
+
+    for insn in trace:
+        if not insn.produces_value:
+            continue
+        value = insn.value
+        depth = min(max_distance, len(history))
+        diffs: List[Optional[int]] = [
+            wsub(value, history[-k]) for k in range(1, depth + 1)
+        ]
+        diffs.extend([None] * (max_distance - depth))
+        pc = insn.pc
+        previous = prev_diffs.get(pc)
+        if previous is not None:
+            counters = hits.setdefault(pc, [0] * max_distance)
+            totals[pc] = totals.get(pc, 0) + 1
+            for k in range(max_distance):
+                if diffs[k] is not None and diffs[k] == previous[k]:
+                    counters[k] += 1
+        prev_diffs[pc] = diffs
+        history.append(value)
+        if len(history) > max_distance:
+            del history[: len(history) - max_distance]
+
+    profile = CorrelationProfile()
+    predictable = 0
+    scored = 0
+    for pc, counters in hits.items():
+        total = totals[pc]
+        best_distance = max(range(max_distance), key=lambda k: counters[k])
+        best_hits = counters[best_distance]
+        profile.per_pc[pc] = (best_distance + 1, best_hits / total, total)
+        hist = profile.distance_histogram
+        hist[best_distance + 1] = hist.get(best_distance + 1, 0) + best_hits
+        predictable += best_hits
+        scored += total
+    profile.overall = predictable / scored if scored else 0.0
+    return profile
+
+
+def correlation_distance_profile(
+    trace: Iterable[Instruction],
+    order: int = 32,
+) -> Dict[int, int]:
+    """Train a gDiff predictor on *trace* and histogram locked distances.
+
+    Returns {distance: number of table entries locked at that distance}.
+    This is the dynamic counterpart of
+    :func:`global_stride_predictability` — what the hardware actually
+    locks onto, including the effects of its update policy.
+    """
+    predictor = GDiffPredictor(order=order, entries=None)
+    for insn in trace:
+        if insn.produces_value:
+            predictor.update(insn.pc, insn.value)
+    histogram: Dict[int, int] = {}
+    for distance in predictor.locked_distances().values():
+        histogram[distance] = histogram.get(distance, 0) + 1
+    return histogram

@@ -1,0 +1,218 @@
+"""Command-line interface: ``python -m repro`` (or the ``repro`` script).
+
+Subcommands:
+
+* ``repro list`` — benchmarks and experiments available.
+* ``repro run <experiment> [--length N] [--bench b1,b2] [--out FILE]`` —
+  regenerate one of the paper's tables/figures.
+* ``repro trace <benchmark> [--length N] [--out FILE]`` — generate (and
+  optionally save) a workload trace, printing its summary.
+* ``repro predict <benchmark> [--length N] [--predictors a,b,c]`` —
+  profile-style accuracy comparison over one benchmark.
+* ``repro simulate <benchmark> [--length N] [--vp NAME] [--speculate]`` —
+  run the cycle-level OOO core and report IPC and machine statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from .core import GDiffPredictor, HybridGDiffPredictor
+from .harness import EXPERIMENTS, run_experiment, run_value_prediction
+from .pipeline import (
+    HGVQAdapter,
+    LocalPredictorAdapter,
+    OutOfOrderCore,
+    SGVQAdapter,
+)
+from .predictors import (
+    DFCMPredictor,
+    FCMPredictor,
+    GlobalFCMPredictor,
+    HybridLocalPredictor,
+    LastNValuePredictor,
+    LastValuePredictor,
+    PIPredictor,
+    StridePredictor,
+)
+from .trace.workloads import BENCHMARKS, get
+
+#: Predictor factories exposed on the command line.
+PREDICTORS = {
+    "last-value": lambda: LastValuePredictor(entries=None),
+    "last-n": lambda: LastNValuePredictor(entries=None),
+    "stride": lambda: StridePredictor(entries=None),
+    "fcm": lambda: FCMPredictor(l1_entries=None),
+    "dfcm": lambda: DFCMPredictor(l1_entries=None),
+    "pi": lambda: PIPredictor(entries=None),
+    "gfcm": lambda: GlobalFCMPredictor(),
+    "hybrid-local": lambda: HybridLocalPredictor(entries=None),
+    "gdiff8": lambda: GDiffPredictor(order=8, entries=None),
+    "gdiff32": lambda: GDiffPredictor(order=32, entries=None),
+    "gdiff-hgvq": lambda: HybridGDiffPredictor(order=32, entries=None),
+}
+
+#: Pipeline value-prediction schemes exposed on the command line.
+PIPELINE_SCHEMES = {
+    "stride": lambda: LocalPredictorAdapter(StridePredictor(entries=8192)),
+    "dfcm": lambda: LocalPredictorAdapter(DFCMPredictor(l1_entries=8192)),
+    "sgvq": lambda: SGVQAdapter(order=32),
+    "hgvq": lambda: HGVQAdapter(order=32),
+}
+
+
+def _parse_benchmarks(spec: Optional[str]) -> Optional[List[str]]:
+    if not spec:
+        return None
+    names = [b.strip() for b in spec.split(",") if b.strip()]
+    unknown = [b for b in names if b not in BENCHMARKS]
+    if unknown:
+        raise SystemExit(f"unknown benchmark(s): {unknown}; "
+                         f"choose from {BENCHMARKS}")
+    return names
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    print("benchmarks:")
+    for name in BENCHMARKS:
+        print(f"  {name:8s} {get(name).description}")
+    print("\nexperiments:")
+    for name in sorted(EXPERIMENTS):
+        print(f"  {name}")
+    print("\npredictors:", ", ".join(sorted(PREDICTORS)))
+    print("pipeline schemes:", ", ".join(sorted(PIPELINE_SCHEMES)))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    kwargs = {}
+    if args.length:
+        kwargs["length"] = args.length
+    benchmarks = _parse_benchmarks(args.bench)
+    if benchmarks and args.experiment != "fig12":
+        kwargs["benchmarks"] = benchmarks
+    result = run_experiment(args.experiment, **kwargs)
+    text = result.render()
+    print(text)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"\nsaved to {args.out}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    trace = get(args.benchmark).trace(args.length)
+    print(f"{trace.name}: {trace.stats}")
+    if args.out:
+        from .trace.io import save_trace
+
+        count = save_trace(trace, args.out)
+        print(f"saved {count} instructions to {args.out}")
+    return 0
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    names = [p.strip() for p in args.predictors.split(",") if p.strip()]
+    unknown = [p for p in names if p not in PREDICTORS]
+    if unknown:
+        raise SystemExit(f"unknown predictor(s): {unknown}; "
+                         f"choose from {sorted(PREDICTORS)}")
+    trace = get(args.benchmark).trace(args.length)
+    predictors = {name: PREDICTORS[name]() for name in names}
+    stats = run_value_prediction(trace, predictors, gated=args.gated)
+    print(f"{args.benchmark}: {trace.stats}\n")
+    header = f"{'predictor':14s} {'raw_acc':>8s}"
+    if args.gated:
+        header += f" {'accuracy':>9s} {'coverage':>9s}"
+    print(header)
+    print("-" * len(header))
+    for name, stat in stats.items():
+        line = f"{name:14s} {stat.raw_accuracy:8.1%}"
+        if args.gated:
+            line += f" {stat.accuracy:9.1%} {stat.coverage:9.1%}"
+        print(line)
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    adapter = None
+    if args.vp:
+        if args.vp not in PIPELINE_SCHEMES:
+            raise SystemExit(f"unknown scheme {args.vp!r}; choose from "
+                             f"{sorted(PIPELINE_SCHEMES)}")
+        adapter = PIPELINE_SCHEMES[args.vp]()
+    core = OutOfOrderCore(value_predictor=adapter,
+                          speculate=args.speculate,
+                          track_value_delay=True)
+    result = core.run(get(args.benchmark).trace(args.length))
+    print(f"{args.benchmark}: IPC {result.ipc:.2f} over {result.cycles} "
+          f"cycles ({result.retired} retired)")
+    print(f"  D-cache miss rate   : {result.dcache_miss_rate:.1%}")
+    print(f"  branch mispredicts  : {result.branch_mispredict_rate:.1%}")
+    print(f"  mean value delay    : {result.mean_value_delay():.2f}")
+    if adapter is not None:
+        print(f"  VP ({adapter.name}): accuracy "
+              f"{adapter.stats.accuracy:.1%}, coverage "
+              f"{adapter.stats.coverage:.1%}")
+        if args.speculate:
+            print(f"  selective reissues  : {result.reissues}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Detecting Global Stride Locality in "
+                    "Value Streams' (ISCA 2003)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmarks, experiments, predictors")
+
+    p_run = sub.add_parser("run", help="regenerate a paper table/figure")
+    p_run.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    p_run.add_argument("--length", type=int, default=None,
+                       help="trace length per benchmark")
+    p_run.add_argument("--bench", help="comma-separated benchmark subset")
+    p_run.add_argument("--out", help="also save the rendered table here")
+
+    p_trace = sub.add_parser("trace", help="generate a workload trace")
+    p_trace.add_argument("benchmark", choices=BENCHMARKS)
+    p_trace.add_argument("--length", type=int, default=100_000)
+    p_trace.add_argument("--out", help="save the trace (.trace / .trace.gz)")
+
+    p_pred = sub.add_parser("predict", help="profile accuracy comparison")
+    p_pred.add_argument("benchmark", choices=BENCHMARKS)
+    p_pred.add_argument("--length", type=int, default=100_000)
+    p_pred.add_argument("--predictors",
+                        default="stride,dfcm,gdiff8,gdiff32")
+    p_pred.add_argument("--gated", action="store_true",
+                        help="apply the 3-bit confidence gate")
+
+    p_sim = sub.add_parser("simulate", help="run the OOO core")
+    p_sim.add_argument("benchmark", choices=BENCHMARKS)
+    p_sim.add_argument("--length", type=int, default=50_000)
+    p_sim.add_argument("--vp", help="value-prediction scheme "
+                                    "(stride|dfcm|sgvq|hgvq)")
+    p_sim.add_argument("--speculate", action="store_true",
+                       help="break dependencies on confident predictions")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": cmd_list,
+        "run": cmd_run,
+        "trace": cmd_trace,
+        "predict": cmd_predict,
+        "simulate": cmd_simulate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

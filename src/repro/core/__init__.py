@@ -1,0 +1,23 @@
+"""The paper's contribution: the gDiff global-stride value predictor.
+
+* :class:`GDiffPredictor` — order-n gDiff over a shared global value queue
+  (profile, value-delayed, and SGVQ deployments).
+* :class:`HybridGDiffPredictor` — the HGVQ hybrid: dispatch-ordered queue
+  seeded by a local filler predictor (the headline Figure 16 scheme).
+* Queue and table building blocks for users composing their own variants.
+"""
+
+from .gdiff import GDiffPredictor
+from .gvq import GlobalValueQueue, SlottedValueQueue
+from .hybrid import HybridGDiffPredictor
+from .table import DISTANCE_POLICIES, GDiffEntry, GDiffTable
+
+__all__ = [
+    "GDiffPredictor",
+    "HybridGDiffPredictor",
+    "GlobalValueQueue",
+    "SlottedValueQueue",
+    "GDiffTable",
+    "GDiffEntry",
+    "DISTANCE_POLICIES",
+]

@@ -1,0 +1,134 @@
+"""The gDiff predictor (Section 3).
+
+gDiff exploits *global stride locality*: the value an instruction produces
+is predicted as ``GVQ[k] + diff_k`` — the sum of a value produced by some
+recent (possibly different) instruction and a learned stride.  The distance
+*k* and stride ``diff_k`` are discovered dynamically by diffing every
+completed result against the global value queue and locking onto a distance
+whose difference repeats (see :mod:`repro.core.table`).
+
+This class covers two of the paper's three deployments directly:
+
+* **Profile / retire-order** (Figures 8-10): drive ``predict``/``update``
+  over the committed value stream in program order.  The optional
+  ``delay`` constructor argument reproduces the value-delay study of
+  Section 3.1 (the ``T`` most recent values are invisible).
+* **SGVQ** (Figure 13): the pipeline calls ``predict`` at dispatch and
+  ``update`` at write-back, so the queue fills in (speculative) completion
+  order, exposing the predictor to execution variation.
+
+The HGVQ deployment needs a slotted queue and lives in
+:class:`repro.core.hybrid.HybridGDiffPredictor`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..predictors.base import ValuePredictor
+from ..wordops import wadd, wsub
+from .gvq import GlobalValueQueue
+from .table import GDiffTable
+
+
+class GDiffPredictor(ValuePredictor):
+    """Order-*n* gDiff predictor over a shared global value queue.
+
+    Args:
+        order: queue size *n* (paper: 8 for profile studies, 32 for the
+            pipeline studies).
+        entries: prediction-table entries (power of two) or ``None`` for
+            the unlimited profile table.
+        delay: value delay ``T`` (Section 3.1); 0 for the ideal case.
+        policy: distance tie-break policy (see
+            :data:`repro.core.table.DISTANCE_POLICIES`).
+        track_conflicts: enable aliasing accounting for Figure 9.
+        tagged: tagged (alias-evicting) prediction table instead of the
+            paper's tagless one — the table design-study option.
+    """
+
+    name = "gdiff"
+
+    def __init__(
+        self,
+        order: int = 8,
+        entries: Optional[int] = None,
+        delay: int = 0,
+        policy: str = "sticky-nearest",
+        track_conflicts: bool = False,
+        refresh_on_match: bool = True,
+        tagged: bool = False,
+    ):
+        self.order = order
+        self.queue = GlobalValueQueue(size=order, delay=delay)
+        self.table = GDiffTable(
+            order=order,
+            entries=entries,
+            policy=policy,
+            track_conflicts=track_conflicts,
+            refresh_on_match=refresh_on_match,
+            tagged=tagged,
+        )
+        self._ctor = (order, entries, delay, policy, track_conflicts,
+                      refresh_on_match, tagged)
+
+    def predict(self, pc: int) -> Optional[int]:
+        """Predict ``GVQ[distance] + diff_distance`` for *pc*, if locked."""
+        entry = self.table.lookup(pc)
+        if entry is None or entry.distance is None:
+            return None
+        diff = entry.diffs[entry.distance - 1]
+        if diff is None:
+            return None
+        base = self.queue.get(entry.distance)
+        if base is None:
+            return None
+        return wadd(base, diff)
+
+    def update(self, pc: int, actual: int) -> None:
+        """Diff *actual* against the queue, train the table, shift it in."""
+        diffs = self._calc_diffs(actual)
+        self.table.train(pc, diffs)
+        self.queue.push(actual)
+
+    def observe(self, value: int) -> None:
+        """Shift a value into the queue without training any table entry.
+
+        Used when the stream feeding the GVQ is wider than the set of
+        instructions being predicted (e.g. only load addresses pass into
+        the queue but other bookkeeping is needed), and by tests.
+        """
+        self.queue.push(value)
+
+    def _calc_diffs(self, actual: int) -> List[Optional[int]]:
+        """Compute result-minus-queue differences for all n distances."""
+        diffs: List[Optional[int]] = []
+        get = self.queue.get
+        for distance in range(1, self.order + 1):
+            base = get(distance)
+            diffs.append(None if base is None else wsub(actual, base))
+        return diffs
+
+    @property
+    def conflict_rate(self) -> float:
+        return self.table.conflict_rate
+
+    def reset(self) -> None:
+        order, entries, delay, policy, track, refresh, tagged = self._ctor
+        self.queue = GlobalValueQueue(size=order, delay=delay)
+        self.table = GDiffTable(
+            order=order, entries=entries, policy=policy,
+            track_conflicts=track, refresh_on_match=refresh, tagged=tagged,
+        )
+
+    def locked_distances(self) -> Dict[int, int]:
+        """Return {pc_index: selected distance} for all locked entries.
+
+        Analysis helper: the distribution of selected distances is the
+        correlation-distance profile discussed in Section 3 / [2].
+        """
+        result = {}
+        for idx, entry in self.table._table._data.items():
+            if entry.distance is not None:
+                result[idx] = entry.distance
+        return result

@@ -1,0 +1,152 @@
+"""Global value queue (GVQ) structures.
+
+The GVQ is the ordered record of "the values of the completed instructions
+according to their execution order" (Section 3).  The gDiff predictor reads
+it at distance *k* to form predictions and diffs new results against its
+contents to learn correlations.
+
+Two containers are provided:
+
+* :class:`GlobalValueQueue` — the plain shift-register queue used by the
+  profile-mode and SGVQ configurations.  It supports an optional *value
+  delay* ``T``: the ``T`` most recently pushed values are invisible,
+  modelling pipeline latency between a value's production and its
+  availability to the predictor (Section 3.1).
+* :class:`SlottedValueQueue` — the dispatch-order queue needed by the
+  hybrid scheme (HGVQ, Section 5).  Slots are allocated in dispatch order
+  and carry speculative *filler* values; the write-back overwrites the slot
+  in place, so the queue's ordering never suffers from execution variation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class GlobalValueQueue:
+    """A bounded, in-order queue of the most recent produced values.
+
+    Args:
+        size: the predictor order *n* — the number of queue entries a
+            prediction may reach back to (distance 1..n).
+        delay: value delay ``T``; the ``T`` most recent values are hidden
+            from both prediction and difference computation.  ``T = 0``
+            reproduces the idealised profile configuration.
+    """
+
+    def __init__(self, size: int = 8, delay: int = 0):
+        if size <= 0:
+            raise ValueError("queue size must be positive")
+        if delay < 0:
+            raise ValueError("delay cannot be negative")
+        self.size = size
+        self.delay = delay
+        # Ring buffer holding the last (size + delay) values.
+        self._capacity = size + delay
+        self._buf: List[int] = [0] * self._capacity
+        self._count = 0  # total values ever pushed
+
+    def push(self, value: int) -> None:
+        """Shift a newly completed value into the queue."""
+        self._buf[self._count % self._capacity] = value
+        self._count += 1
+
+    def get(self, distance: int) -> Optional[int]:
+        """Return the value at *distance* in the visible window.
+
+        Distance 1 is the most recent *visible* value — i.e. the value
+        pushed ``delay + 1`` pushes ago.  Returns ``None`` when the queue
+        has not yet been filled deep enough.
+        """
+        if distance < 1 or distance > self.size:
+            raise ValueError(f"distance must be in 1..{self.size}")
+        slot = self._count - self.delay - distance
+        if slot < 0:
+            return None
+        return self._buf[slot % self._capacity]
+
+    def visible(self) -> List[Optional[int]]:
+        """Return the full visible window as [distance 1, ..., distance n]."""
+        return [self.get(d) for d in range(1, self.size + 1)]
+
+    @property
+    def total_pushed(self) -> int:
+        """Total number of values ever shifted in (the global order N)."""
+        return self._count
+
+    def clear(self) -> None:
+        self._buf = [0] * self._capacity
+        self._count = 0
+
+
+class SlottedValueQueue:
+    """A dispatch-ordered value queue with in-place write-back (HGVQ).
+
+    Slots are allocated with :meth:`allocate` at dispatch time, seeded with
+    a speculative filler value (typically a local-stride prediction), and
+    later overwritten with the real execution result via :meth:`deposit`.
+    Reads are positional: ``get(seq, distance)`` returns the value in the
+    slot *distance* allocations before *seq*, whatever mixture of filler
+    and real values currently occupies it.
+
+    The ring capacity must exceed the predictor order plus the maximum
+    number of in-flight instructions, so a write-back can always still find
+    its slot.
+    """
+
+    def __init__(self, size: int = 32, capacity: int = 512):
+        if size <= 0:
+            raise ValueError("queue size must be positive")
+        if capacity <= size:
+            raise ValueError("capacity must exceed the predictor order")
+        self.size = size
+        self._capacity = capacity
+        self._buf: List[int] = [0] * capacity
+        self._next_seq = 0
+
+    def allocate(self, filler: int) -> int:
+        """Allocate the next dispatch-order slot, seeded with *filler*.
+
+        Returns the slot's sequence number, which the pipeline carries with
+        the instruction ("a field is associated with each instruction in
+        the issue queue to direct which entry in the HGVQ the result should
+        update").
+        """
+        seq = self._next_seq
+        self._buf[seq % self._capacity] = filler
+        self._next_seq += 1
+        return seq
+
+    def deposit(self, seq: int, value: int) -> bool:
+        """Overwrite slot *seq* with the real result.
+
+        Returns False (and writes nothing) if the slot has already been
+        recycled — possible only if an instruction stays in flight longer
+        than ``capacity`` younger dispatches, which the pipeline's ROB
+        bound prevents in practice.
+        """
+        if seq < self._next_seq - self._capacity or seq >= self._next_seq:
+            return False
+        self._buf[seq % self._capacity] = value
+        return True
+
+    def get(self, seq: int, distance: int) -> Optional[int]:
+        """Read the value *distance* slots before *seq* (distance >= 1)."""
+        if distance < 1 or distance > self.size:
+            raise ValueError(f"distance must be in 1..{self.size}")
+        slot = seq - distance
+        if slot < 0 or slot < self._next_seq - self._capacity:
+            return None
+        return self._buf[slot % self._capacity]
+
+    def window(self, seq: int) -> List[Optional[int]]:
+        """Return [distance 1, ..., distance n] relative to slot *seq*."""
+        return [self.get(seq, d) for d in range(1, self.size + 1)]
+
+    @property
+    def total_allocated(self) -> int:
+        return self._next_seq
+
+    def clear(self) -> None:
+        self._buf = [0] * self._capacity
+        self._next_seq = 0

@@ -1,0 +1,135 @@
+"""The gDiff prediction table.
+
+Per Section 3, the PC-indexed prediction table "maintains the selected
+distance (i.e., k for x_N ~ x_{N-k}) used for the prediction and the
+differences between the instruction's result and the results of n
+instructions that finished immediately before it".
+
+Update rule (quoted from the paper, implemented in :meth:`GDiffTable.train`):
+
+    "the calculated differences ... are compared against the differences
+    stored in the corresponding entry of the prediction table.  If there is
+    a match, the matching distance is stored in the distance field.  If
+    there is no match, the calculated differences are stored in the
+    prediction table and there is no update of the distance field."
+
+When several distances match simultaneously the paper does not prescribe a
+tie-break; we default to the *sticky-nearest* policy (keep the currently
+selected distance if it still matches, otherwise take the nearest matching
+distance), and expose ``nearest`` and ``farthest`` alternatives for the
+distance-policy ablation bench.
+
+One deliberate refinement: by default the calculated differences are
+written back on *every* update, not only on a mismatch
+(``refresh_on_match=True``).  The paper's wording only requires storing
+them on a mismatch, but leaving them stale lets garbage differences from a
+disturbance (e.g. a pointer-chase jump) linger and later produce spurious
+matches at far distances, which measurably degrades accuracy as the queue
+grows — the opposite of the paper's observed behaviour.  The differences
+are already computed each update, so the write-back is free in hardware.
+``refresh_on_match=False`` restores the literal reading; the ablation
+bench compares the two.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..tables import DirectMappedTable
+
+#: Valid distance-selection policies.
+DISTANCE_POLICIES = ("sticky-nearest", "nearest", "farthest")
+
+
+class GDiffEntry:
+    """One prediction-table entry: n stored differences plus a distance."""
+
+    __slots__ = ("diffs", "distance")
+
+    def __init__(self, order: int):
+        self.diffs: List[Optional[int]] = [None] * order
+        self.distance: Optional[int] = None
+
+    def matching_distances(self, diffs: Sequence[Optional[int]]) -> List[int]:
+        """Return all distances (1-based) where *diffs* match stored diffs.
+
+        A position only matches when both the stored and the calculated
+        difference are present (the queue was deep enough both times).
+        """
+        matches = []
+        for i, (stored, calc) in enumerate(zip(self.diffs, diffs)):
+            if stored is not None and calc is not None and stored == calc:
+                matches.append(i + 1)
+        return matches
+
+
+class GDiffTable:
+    """PC-indexed table of :class:`GDiffEntry` with the paper's update rule."""
+
+    def __init__(
+        self,
+        order: int = 8,
+        entries: Optional[int] = None,
+        policy: str = "sticky-nearest",
+        track_conflicts: bool = False,
+        refresh_on_match: bool = True,
+        tagged: bool = False,
+    ):
+        if order <= 0:
+            raise ValueError("order must be positive")
+        if policy not in DISTANCE_POLICIES:
+            raise ValueError(f"unknown distance policy {policy!r}")
+        self.order = order
+        self.policy = policy
+        self.refresh_on_match = refresh_on_match
+        self._entries = entries
+        self._table = DirectMappedTable(
+            entries=entries, track_conflicts=track_conflicts, tagged=tagged
+        )
+
+    def lookup(self, pc: int) -> Optional[GDiffEntry]:
+        """Return the entry for *pc* without creating one."""
+        return self._table.lookup(pc)
+
+    def train(self, pc: int, diffs: Sequence[Optional[int]]) -> Optional[int]:
+        """Apply the paper's update rule for one completed instruction.
+
+        Args:
+            pc: static PC of the completing instruction.
+            diffs: the calculated differences (result minus queue entry,
+                distance 1..n; ``None`` where the queue was not yet deep
+                enough).
+
+        Returns:
+            The distance selected by this update, or ``None`` if no match
+            occurred (in which case the calculated diffs replace the stored
+            ones and the distance field is left untouched).
+        """
+        entry = self._table.lookup_or_create(pc, lambda: GDiffEntry(self.order))
+        matches = entry.matching_distances(diffs)
+        if matches:
+            entry.distance = self._choose(entry.distance, matches)
+            if self.refresh_on_match:
+                entry.diffs = list(diffs)
+            return entry.distance
+        entry.diffs = list(diffs)
+        return None
+
+    def _choose(self, current: Optional[int], matches: List[int]) -> int:
+        """Tie-break among matching distances according to the policy."""
+        if self.policy == "sticky-nearest" and current in matches:
+            return current
+        if self.policy == "farthest":
+            return matches[-1]
+        return matches[0]
+
+    @property
+    def conflict_rate(self) -> float:
+        """Aliasing conflict rate of the underlying tagless table (Fig. 9)."""
+        return self._table.conflict_rate
+
+    def occupied(self) -> int:
+        return self._table.occupied()
+
+    def clear(self) -> None:
+        self._table.clear()

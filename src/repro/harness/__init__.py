@@ -1,0 +1,20 @@
+"""Experiment harness: runners, the per-figure experiment registry, and
+ASCII reporting that prints the same rows/series the paper's tables and
+figures report."""
+
+from .experiments import EXPERIMENTS, run_experiment
+from .report import ExperimentResult
+from .runner import (
+    run_address_prediction,
+    run_value_prediction,
+    warm_then_measure,
+)
+
+__all__ = [
+    "run_value_prediction",
+    "run_address_prediction",
+    "warm_then_measure",
+    "EXPERIMENTS",
+    "run_experiment",
+    "ExperimentResult",
+]

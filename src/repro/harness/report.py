@@ -1,0 +1,91 @@
+"""ASCII reporting for experiment results.
+
+Every experiment in :mod:`repro.harness.experiments` returns an
+:class:`ExperimentResult`: a named table of rows whose string rendering
+prints the same rows/series the paper's figure or table reports, plus the
+paper's anchor values where the text states them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+
+#: Column-name fragments whose values are plain numbers, not rates.
+_PLAIN_COLUMNS = ("ipc", "delay", "count", "cycles")
+
+
+def fmt(value: Any, column: str = "") -> str:
+    """Format one cell: rates as percentages, plain metrics as numbers."""
+    if isinstance(value, float):
+        name = column.lower()
+        if any(frag in name for frag in _PLAIN_COLUMNS):
+            return f"{value:.2f}"
+        if -0.5 <= value <= 1.5:
+            return f"{value:.1%}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+@dataclass
+class ExperimentResult:
+    """A reproduced table/figure: header, rows, and provenance notes."""
+
+    #: Experiment id, e.g. "fig8" or "table2".
+    name: str
+    #: One-line description of what the paper's figure/table shows.
+    title: str
+    #: Column names; the first column is the row label.
+    columns: List[str]
+    #: Data rows (first element is the label).
+    rows: List[List[Any]] = field(default_factory=list)
+    #: Paper anchor values / caveats, printed under the table.
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, label: str, *values: Any) -> None:
+        self.rows.append([label, *values])
+
+    def row(self, label: str) -> List[Any]:
+        """Return the row with the given label (KeyError if absent)."""
+        for row in self.rows:
+            if row[0] == label:
+                return row
+        raise KeyError(label)
+
+    def column(self, name: str) -> List[Any]:
+        """Return all values of one named column."""
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def cell(self, label: str, column: str) -> Any:
+        """Return a single cell by row label and column name."""
+        return self.row(label)[self.columns.index(column)]
+
+    def render(self) -> str:
+        """Render the table as aligned ASCII."""
+        table = [self.columns] + [
+            [fmt(cell, self.columns[i]) for i, cell in enumerate(row)]
+            for row in self.rows
+        ]
+        widths = [
+            max(len(row[i]) for row in table)
+            for i in range(len(self.columns))
+        ]
+        lines = [f"== {self.name}: {self.title} =="]
+        header = "  ".join(
+            name.ljust(widths[i]) for i, name in enumerate(self.columns)
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in table[1:]:
+            lines.append(
+                "  ".join(cell.rjust(widths[i]) if i else cell.ljust(widths[i])
+                          for i, cell in enumerate(row))
+            )
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

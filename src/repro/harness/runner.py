@@ -1,0 +1,135 @@
+"""Trace-driven predictor evaluation.
+
+These runners implement the paper's *profile* methodology (Sections 2-3 and
+6): walk the committed instruction stream in program order, offer each
+relevant instruction to every predictor at its "dispatch", and train with
+the actual outcome at its "write-back" — which, in a profile run, happens
+immediately.  Pipeline-timed evaluation (value delay, SGVQ, HGVQ, IPC)
+lives in :mod:`repro.pipeline`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..predictors.base import PredictionStats, ValuePredictor
+from ..predictors.confidence import ConfidenceTable
+from ..predictors.markov import MarkovPredictor
+from ..trace.isa import Instruction, OpClass
+
+
+def run_value_prediction(
+    trace: Iterable[Instruction],
+    predictors: Mapping[str, ValuePredictor],
+    gated: bool = False,
+) -> Dict[str, PredictionStats]:
+    """Run predictors over the value stream of *trace*.
+
+    Every value-producing instruction is offered to every predictor:
+    ``predict(pc)`` first, then ``update(pc, value)``.  With ``gated`` a
+    fresh 3-bit confidence table (the paper's +2/−1, threshold-4 policy)
+    accompanies each predictor and the gated accuracy/coverage fields of
+    the returned stats are populated.
+
+    Returns:
+        {predictor name: PredictionStats}.
+    """
+    stats = {name: PredictionStats() for name in predictors}
+    confidence = {name: ConfidenceTable() if gated else None for name in predictors}
+    items = list(predictors.items())
+    for insn in trace:
+        if not insn.produces_value:
+            continue
+        pc, actual = insn.pc, insn.value
+        for name, predictor in items:
+            predicted = predictor.predict(pc)
+            conf = confidence[name]
+            if conf is not None:
+                is_confident = predicted is not None and conf.is_confident(pc)
+                stats[name].record(predicted, actual, is_confident)
+                if predicted is not None:
+                    conf.train(pc, predicted == actual)
+            else:
+                stats[name].record(predicted, actual)
+            predictor.update(pc, actual)
+    return stats
+
+
+def run_address_prediction(
+    trace: Iterable[Instruction],
+    predictors: Mapping[str, ValuePredictor],
+    miss_filter=None,
+) -> Dict[str, PredictionStats]:
+    """Run predictors over the load-address stream (Section 6).
+
+    Only load instructions participate; the predicted quantity is the
+    effective address.  PC-indexed predictors are gated by the 3-bit
+    confidence mechanism; a :class:`MarkovPredictor` gates by tag match
+    (its ``predict_confident``), as the paper specifies.
+
+    Args:
+        trace: instruction stream.
+        predictors: {name: predictor}.
+        miss_filter: optional callable ``(insn) -> bool``; when given, the
+            run is restricted to loads for which it returns True (used with
+            a D-cache model to evaluate *missing* loads only — the
+            predictors then see, learn from, and are scored on exactly the
+            miss-address stream, the stream a prefetcher would act on).
+
+    Returns:
+        {predictor name: PredictionStats}.
+    """
+    stats = {name: PredictionStats() for name in predictors}
+    confidence = {
+        name: None if isinstance(p, MarkovPredictor) else ConfidenceTable()
+        for name, p in predictors.items()
+    }
+    items = list(predictors.items())
+    for insn in trace:
+        if insn.op is not OpClass.LOAD:
+            continue
+        if miss_filter is not None and not miss_filter(insn):
+            continue
+        pc, actual = insn.pc, insn.addr
+        for name, predictor in items:
+            conf = confidence[name]
+            if conf is None:
+                predicted, is_confident = predictor.predict_confident(pc)
+            else:
+                predicted = predictor.predict(pc)
+                is_confident = predicted is not None and conf.is_confident(pc)
+            stats[name].record(predicted, actual, is_confident)
+            if conf is not None and predicted is not None:
+                conf.train(pc, predicted == actual)
+            predictor.update(pc, actual)
+    return stats
+
+
+def warm_then_measure(
+    trace_factory,
+    predictors: Mapping[str, ValuePredictor],
+    warmup: int,
+    measure: int,
+    gated: bool = False,
+) -> Dict[str, PredictionStats]:
+    """Skip-then-measure evaluation mirroring the paper's fast-forwarding.
+
+    The paper skips 200M-500M instructions before measuring; we warm the
+    predictors on the first *warmup* instructions (training but not
+    scoring) and report statistics over the next *measure* instructions.
+
+    Args:
+        trace_factory: callable returning an instruction iterator.
+    """
+    stream = trace_factory()
+    warm: List[Instruction] = []
+    body: List[Instruction] = []
+    for i, insn in enumerate(stream):
+        if i < warmup:
+            warm.append(insn)
+        elif i < warmup + measure:
+            body.append(insn)
+        else:
+            break
+    run_value_prediction(warm, predictors, gated=False)
+    return run_value_prediction(body, predictors, gated=gated)

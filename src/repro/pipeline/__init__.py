@@ -1,0 +1,32 @@
+"""Cycle-level out-of-order pipeline model (the paper's Table 1 machine).
+
+* :class:`ProcessorConfig` / :class:`CacheConfig` — machine parameters.
+* :class:`OutOfOrderCore` — the 4-wide, 64-entry-ROB trace-driven core
+  with value-prediction hooks, selective reissue and value-delay
+  measurement.
+* Adapters in :mod:`repro.pipeline.vp` connect any predictor to the core.
+"""
+
+from .branch import GShare
+from .cache import Cache
+from .config import CacheConfig, ProcessorConfig
+from .ooo import OutOfOrderCore, SimResult
+from .vp import (
+    HGVQAdapter,
+    LocalPredictorAdapter,
+    PipelinePredictor,
+    SGVQAdapter,
+)
+
+__all__ = [
+    "ProcessorConfig",
+    "CacheConfig",
+    "Cache",
+    "GShare",
+    "OutOfOrderCore",
+    "SimResult",
+    "PipelinePredictor",
+    "LocalPredictorAdapter",
+    "SGVQAdapter",
+    "HGVQAdapter",
+]

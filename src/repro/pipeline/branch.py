@@ -1,0 +1,65 @@
+"""gshare branch predictor (the pipeline's control-flow substrate).
+
+The paper's machine "can issue branch instructions speculatively"; its
+branch predictor is not specified beyond being conventional, so we use the
+standard gshare scheme: a table of 2-bit saturating counters indexed by
+the XOR of global branch history and PC bits.  Mispredictions stall the
+trace-driven front end until the branch resolves (the usual trace-driven
+approximation — the wrong path is not in the trace), which is the
+pipeline's second source of execution variation after cache misses.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class GShare:
+    """gshare: 2-bit counters indexed by (PC >> 2) XOR global history."""
+
+    def __init__(self, history_bits: int = 12):
+        if history_bits <= 0:
+            raise ValueError("history_bits must be positive")
+        self.history_bits = history_bits
+        self.entries = 1 << history_bits
+        self._mask = self.entries - 1
+        self._counters: List[int] = [2] * self.entries  # weakly taken
+        self._history = 0
+        self.lookups = 0
+        self.correct = 0
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self._history) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        """Predict the direction of the branch at *pc*."""
+        return self._counters[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Train with the resolved outcome and advance the history.
+
+        The caller is responsible for calling ``predict`` before ``update``
+        for each dynamic branch (the index depends on the history, which
+        this method shifts).
+        """
+        idx = self._index(pc)
+        counter = self._counters[idx]
+        if taken:
+            if counter < 3:
+                self._counters[idx] = counter + 1
+        else:
+            if counter > 0:
+                self._counters[idx] = counter - 1
+        self._history = ((self._history << 1) | int(taken)) & self._mask
+
+    def record(self, correct: bool) -> None:
+        """Accuracy bookkeeping (kept separate from the training path)."""
+        self.lookups += 1
+        if correct:
+            self.correct += 1
+
+    @property
+    def accuracy(self) -> float:
+        if not self.lookups:
+            return 0.0
+        return self.correct / self.lookups

@@ -1,0 +1,80 @@
+"""Processor configuration (the paper's Table 1).
+
+The machine modelled is MIPS R10000-like: 4-way superscalar with a
+64-entry reorder buffer, four fully symmetric function units, four data
+cache ports, and split 64 KB 4-way L1 caches.  All Table 1 numbers are
+defaults here; every experiment takes a :class:`ProcessorConfig` so the
+ablation benches can sweep them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CacheConfig:
+    """Geometry and timing of one cache."""
+
+    size_bytes: int
+    ways: int
+    line_bytes: int
+    miss_penalty: int
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.ways * self.line_bytes):
+            raise ValueError("cache size must be divisible by ways*line")
+
+
+@dataclass
+class ProcessorConfig:
+    """Table 1: the 4-way, 64-entry-window machine model."""
+
+    #: Fetch/dispatch/issue/retire bandwidth ("4-way superscalar").
+    width: int = 4
+    #: Reorder buffer entries ("Reorder buffer: 64 entries").
+    rob_entries: int = 64
+    #: Fully symmetric function units.
+    function_units: int = 4
+    #: Data cache ports.
+    dcache_ports: int = 4
+
+    #: Instruction cache: 64 KB, 4-way, 64-byte lines, 12-cycle penalty.
+    icache: CacheConfig = field(
+        default_factory=lambda: CacheConfig(64 * 1024, 4, 64, 12)
+    )
+    #: Data cache: 64 KB, 4-way, 64-byte lines, 14-cycle penalty.
+    dcache: CacheConfig = field(
+        default_factory=lambda: CacheConfig(64 * 1024, 4, 64, 14)
+    )
+
+    #: Integer ALU latency ("Integer ALU ops = 1 cycle").
+    ialu_latency: int = 1
+    #: Address generation ("Address generation: 1 cycle").
+    agen_latency: int = 1
+    #: Cache access on a hit ("Memory access: 2 cycles (hit)").
+    dcache_hit_latency: int = 2
+    #: Branch execution latency.
+    branch_latency: int = 1
+
+    #: Extra cycles on every instruction's issue-to-writeback path beyond
+    #: raw execution latency, modelling the register-read and write-back
+    #: stages of the paper's 7-stage pipe (fetch, dispatch, issue, reg
+    #: read, execution, write back, retire).
+    pipe_overhead: int = 1
+
+    #: Cycles between a mispredicted branch resolving and useful fetch
+    #: resuming (front-end redirect).
+    redirect_penalty: int = 2
+
+    #: gshare global-history bits (branch predictor substrate).
+    gshare_history_bits: int = 12
+    #: Branch target buffer entries.
+    btb_entries: int = 2048
+
+    def load_latency(self, hit: bool) -> int:
+        """Total execution latency of a load."""
+        latency = self.agen_latency + self.dcache_hit_latency
+        if not hit:
+            latency += self.dcache.miss_penalty
+        return latency

@@ -1,0 +1,375 @@
+"""Cycle-level out-of-order core (trace driven).
+
+Models the paper's Table 1 machine: 4-wide fetch/dispatch/issue/retire, a
+64-entry reorder buffer, four symmetric function units, split 64 KB L1
+caches, a gshare branch predictor, and — when a value-prediction adapter
+is attached — dispatch-time prediction with write-back-time verification
+and *selective reissue* of the instructions that consumed a mispredicted
+value (the "aggressive machine model, similar to the great latency model"
+of Section 7).
+
+Being trace driven, the simulator executes only the correct path; a
+branch misprediction therefore stalls fetch until the branch resolves
+plus a redirect penalty, the standard trace-driven approximation.  All
+values come from the trace — value prediction affects *timing* only
+(dependents may issue before their producer completes), which is exactly
+what the paper's IPC experiments measure.
+
+The simulator also measures **value delay** (Figure 12): for each
+value-producing instruction, the number of values that complete between
+its dispatch and its own write-back — the quantity that limits how fresh
+the global value queue can be.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from ..trace.isa import Instruction, OpClass
+from .branch import GShare
+from .cache import Cache
+from .config import ProcessorConfig
+from .vp import PipelinePredictor
+
+# Entry states.
+_WAITING = 0
+_EXECUTING = 1
+_DONE = 2
+
+
+class _Entry:
+    """One reorder-buffer entry."""
+
+    __slots__ = (
+        "insn", "seq", "state", "deps", "consumers", "remaining",
+        "predicted", "confident", "vp_tag", "used_speculation",
+        "dispatch_cycle", "complete_cycle", "vp_counter_at_dispatch",
+        "reissued", "first_completion_done",
+    )
+
+    def __init__(self, insn: Instruction, seq: int):
+        self.insn = insn
+        self.seq = seq
+        self.state = _WAITING
+        self.deps: List["_Entry"] = []
+        self.consumers: List["_Entry"] = []
+        self.remaining = 0
+        self.predicted: Optional[int] = None
+        self.confident = False
+        self.vp_tag: object = None
+        self.used_speculation = False
+        self.dispatch_cycle = 0
+        self.complete_cycle = -1
+        self.vp_counter_at_dispatch = 0
+        self.reissued = 0
+        self.first_completion_done = False
+
+
+@dataclass
+class SimResult:
+    """Aggregate outcome of one simulation run."""
+
+    cycles: int = 0
+    retired: int = 0
+    retired_vp: int = 0
+    branch_mispredicts: int = 0
+    branches: int = 0
+    dcache_accesses: int = 0
+    dcache_misses: int = 0
+    icache_misses: int = 0
+    value_delay_histogram: Dict[int, int] = field(default_factory=dict)
+    reissues: int = 0
+
+    @property
+    def ipc(self) -> float:
+        if not self.cycles:
+            return 0.0
+        return self.retired / self.cycles
+
+    @property
+    def dcache_miss_rate(self) -> float:
+        if not self.dcache_accesses:
+            return 0.0
+        return self.dcache_misses / self.dcache_accesses
+
+    @property
+    def branch_mispredict_rate(self) -> float:
+        if not self.branches:
+            return 0.0
+        return self.branch_mispredicts / self.branches
+
+    def mean_value_delay(self) -> float:
+        total = sum(self.value_delay_histogram.values())
+        if not total:
+            return 0.0
+        weighted = sum(d * n for d, n in self.value_delay_histogram.items())
+        return weighted / total
+
+
+class OutOfOrderCore:
+    """The trace-driven OOO pipeline.
+
+    Args:
+        config: machine parameters (Table 1 defaults).
+        value_predictor: optional :class:`PipelinePredictor` adapter; it is
+            consulted at dispatch and trained at completion whether or not
+            speculation is enabled (Figures 13/16 measure prediction
+            capability with the predictor passive).
+        speculate: when True, confident predictions break data
+            dependencies — dependents may issue using the predicted value,
+            with selective reissue on misprediction (Figure 19).
+        track_value_delay: collect the Figure 12 histogram.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ProcessorConfig] = None,
+        value_predictor: Optional[PipelinePredictor] = None,
+        speculate: bool = False,
+        track_value_delay: bool = False,
+    ):
+        self.config = config if config is not None else ProcessorConfig()
+        self.vp = value_predictor
+        self.speculate = speculate
+        self.track_value_delay = track_value_delay
+        self.icache = Cache(self.config.icache)
+        self.dcache = Cache(self.config.dcache)
+        self.branch_predictor = GShare(self.config.gshare_history_bits)
+
+    def run(self, trace: Iterable[Instruction],
+            max_cycles: Optional[int] = None) -> SimResult:
+        """Simulate the full trace; returns aggregate statistics."""
+        cfg = self.config
+        result = SimResult()
+        stream = iter(trace)
+        rob: deque = deque()
+        fetch_queue: deque = deque()
+        fetch_queue_cap = 2 * cfg.width * 4
+        # Latest in-window writer of each architectural register.
+        writers: Dict[int, _Entry] = {}
+        in_flight: List[_Entry] = []
+        # Completed value-producing instruction counter (value-delay clock).
+        vp_counter = 0
+        # Fetch stall state: a mispredicted branch instruction that has not
+        # yet dispatched, then the ROB entry it became.  Fetch is blocked
+        # while either is set; the entry's completion clears the stall.
+        pending_mispredict: Optional[Instruction] = None
+        stalled_branch: Optional[_Entry] = None
+        fetch_free_at = 0  # cycle at which fetch may resume (icache/redirect)
+        last_line = -1
+        line_shift = cfg.icache.line_bytes.bit_length() - 1
+        exhausted = False
+        seq = 0
+        cycle = 0
+
+        while True:
+            cycle += 1
+            if max_cycles is not None and cycle > max_cycles:
+                cycle -= 1
+                break
+
+            # ---- Retire (in order) -------------------------------------
+            retired_this_cycle = 0
+            while rob and retired_this_cycle < cfg.width and \
+                    rob[0].state == _DONE:
+                entry = rob.popleft()
+                regs = writers
+                insn = entry.insn
+                if insn.dest is not None and regs.get(insn.dest) is entry:
+                    del regs[insn.dest]
+                result.retired += 1
+                if insn.produces_value:
+                    result.retired_vp += 1
+                retired_this_cycle += 1
+
+            # ---- Complete (write-back) ---------------------------------
+            still_flying: List[_Entry] = []
+            completing: List[_Entry] = []
+            for entry in in_flight:
+                entry.remaining -= 1
+                if entry.remaining <= 0:
+                    completing.append(entry)
+                else:
+                    still_flying.append(entry)
+            in_flight = still_flying
+            for entry in completing:
+                entry.state = _DONE
+                entry.complete_cycle = cycle
+                insn = entry.insn
+                if insn.produces_value and not entry.first_completion_done:
+                    entry.first_completion_done = True
+                    vp_counter += 1
+                    if self.track_value_delay:
+                        delay = vp_counter - entry.vp_counter_at_dispatch - 1
+                        hist = result.value_delay_histogram
+                        hist[delay] = hist.get(delay, 0) + 1
+                    if self.vp is not None:
+                        self.vp.on_complete(insn.pc, entry.vp_tag, insn.value)
+                        # Verify: wrong confident predictions trigger
+                        # selective reissue of speculative consumers.
+                        if (self.speculate and entry.confident
+                                and entry.predicted != insn.value):
+                            result.reissues += self._selective_reissue(
+                                entry, in_flight
+                            )
+                if insn.op is OpClass.BRANCH and entry is stalled_branch:
+                    stalled_branch = None
+                    fetch_free_at = max(fetch_free_at,
+                                        cycle + cfg.redirect_penalty)
+
+            # ---- Issue --------------------------------------------------
+            fu_free = cfg.function_units
+            ports_free = cfg.dcache_ports
+            issued = 0
+            if rob:
+                for entry in rob:
+                    if issued >= cfg.width or fu_free == 0:
+                        break
+                    if entry.state != _WAITING:
+                        continue
+                    if not self._ready(entry):
+                        continue
+                    insn = entry.insn
+                    if insn.is_mem and ports_free == 0:
+                        continue
+                    entry.state = _EXECUTING
+                    entry.remaining = self._latency(insn, result)
+                    in_flight.append(entry)
+                    fu_free -= 1
+                    issued += 1
+                    if insn.is_mem:
+                        ports_free -= 1
+
+            # ---- Dispatch -----------------------------------------------
+            dispatched = 0
+            while (fetch_queue and dispatched < cfg.width
+                   and len(rob) < cfg.rob_entries):
+                insn = fetch_queue.popleft()
+                entry = _Entry(insn, seq)
+                seq += 1
+                entry.dispatch_cycle = cycle
+                entry.vp_counter_at_dispatch = vp_counter
+                for reg in insn.srcs:
+                    producer = writers.get(reg)
+                    if producer is not None and producer.state != _DONE:
+                        entry.deps.append(producer)
+                        producer.consumers.append(entry)
+                if insn.dest is not None:
+                    writers[insn.dest] = entry
+                if self.vp is not None and insn.produces_value:
+                    predicted, confident, tag = self.vp.on_dispatch(insn.pc)
+                    entry.predicted = predicted
+                    entry.confident = confident
+                    entry.vp_tag = tag
+                if insn is pending_mispredict:
+                    stalled_branch = entry
+                    pending_mispredict = None
+                rob.append(entry)
+                dispatched += 1
+
+            # ---- Fetch --------------------------------------------------
+            if (not exhausted and stalled_branch is None
+                    and pending_mispredict is None
+                    and cycle >= fetch_free_at
+                    and len(fetch_queue) < fetch_queue_cap):
+                fetched = 0
+                while fetched < cfg.width:
+                    insn = next(stream, None)
+                    if insn is None:
+                        exhausted = True
+                        break
+                    stop_fetch = False
+                    line = insn.pc >> line_shift
+                    if line != last_line:
+                        last_line = line
+                        if not self.icache.access(insn.pc):
+                            result.icache_misses += 1
+                            fetch_free_at = cycle + cfg.icache.miss_penalty
+                            stop_fetch = True
+                    fetch_queue.append(insn)
+                    fetched += 1
+                    if insn.op is OpClass.BRANCH:
+                        predicted = self.branch_predictor.predict(insn.pc)
+                        self.branch_predictor.update(insn.pc, insn.taken)
+                        correct = predicted == insn.taken
+                        self.branch_predictor.record(correct)
+                        result.branches += 1
+                        if not correct:
+                            result.branch_mispredicts += 1
+                            # Fetch stalls until this branch resolves.
+                            pending_mispredict = insn
+                        stop_fetch = True  # fetch redirects at taken branches
+                    if stop_fetch:
+                        break
+
+            # ---- Termination --------------------------------------------
+            if exhausted and not rob and not fetch_queue:
+                break
+
+        result.cycles = cycle
+        result.dcache_accesses = self.dcache.accesses
+        result.dcache_misses = self.dcache.misses
+        return result
+
+    def _ready(self, entry: _Entry) -> bool:
+        """Dependency check; records speculative-value consumption."""
+        used_spec = False
+        for dep in entry.deps:
+            if dep.state == _DONE:
+                continue
+            if self.speculate and dep.confident:
+                used_spec = True
+                continue
+            return False
+        if used_spec:
+            entry.used_speculation = True
+        return True
+
+    def _latency(self, insn: Instruction, result: SimResult) -> int:
+        cfg = self.config
+        if insn.op is OpClass.LOAD:
+            hit = self.dcache.access(insn.addr)
+            latency = cfg.load_latency(hit)
+        elif insn.op is OpClass.STORE:
+            # Stores retire from the pipeline's perspective once the
+            # address is generated; the write is buffered.
+            self.dcache.access(insn.addr)
+            latency = cfg.agen_latency
+        elif insn.op is OpClass.BRANCH:
+            latency = cfg.branch_latency
+        else:
+            latency = cfg.ialu_latency
+        return latency + cfg.pipe_overhead
+
+    def _selective_reissue(self, producer: _Entry,
+                           in_flight: List[_Entry]) -> int:
+        """Re-execute everything that transitively consumed a wrong value.
+
+        Consumers that issued while *producer* was still executing used its
+        (now known wrong) predicted value; they and anything that consumed
+        *their* results must re-execute.  The producer itself has just
+        completed, so re-issued consumers will pick up the correct value.
+        """
+        squashed = 0
+        stack = [c for c in producer.consumers if c.used_speculation]
+        seen = set()
+        while stack:
+            entry = stack.pop()
+            if id(entry) in seen:
+                continue
+            seen.add(id(entry))
+            if entry.state == _WAITING:
+                continue
+            if entry.state == _EXECUTING:
+                try:
+                    in_flight.remove(entry)
+                except ValueError:
+                    pass
+            entry.state = _WAITING
+            entry.remaining = 0
+            entry.reissued += 1
+            squashed += 1
+            stack.extend(entry.consumers)
+        return squashed

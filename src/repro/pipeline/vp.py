@@ -1,0 +1,163 @@
+"""Pipeline-facing value-predictor adapters.
+
+The OOO core interacts with every value-prediction scheme through one
+protocol: :meth:`PipelinePredictor.on_dispatch` when a value-producing
+instruction enters the window (in program order), and
+:meth:`PipelinePredictor.on_complete` when it finishes execution (in
+completion order — this is where the schemes differ).  Each adapter owns
+its 3-bit confidence table and a :class:`PredictionStats`, so the Figure
+13/16 accuracy/coverage numbers fall straight out of a simulation run.
+
+Adapters:
+
+* :class:`LocalPredictorAdapter` — wraps any PC-indexed local predictor
+  (stride, DFCM, last-value...).  Predictions at dispatch, training at
+  write-back, exactly as the paper configures its baselines ("all
+  predictors make predictions at dispatch stage and are updated at
+  write-back stage").
+* :class:`SGVQAdapter` — gDiff over the speculative GVQ (Section 4): the
+  queue is pushed at write-back, in completion order, so cache misses
+  reorder it.
+* :class:`HGVQAdapter` — gDiff over the hybrid queue (Section 5): slots
+  allocated in dispatch order, seeded by the filler predictor, overwritten
+  at write-back.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..core.gdiff import GDiffPredictor
+from ..core.hybrid import HybridGDiffPredictor
+from ..predictors.base import PredictionStats, ValuePredictor
+from ..predictors.confidence import ConfidenceTable
+
+
+class PipelinePredictor:
+    """Base adapter: dispatch-time prediction, completion-time training."""
+
+    name = "adapter"
+
+    def __init__(self, confidence: Optional[ConfidenceTable] = None):
+        self.confidence = confidence if confidence is not None else ConfidenceTable()
+        self.stats = PredictionStats()
+
+    def on_dispatch(self, pc: int) -> Tuple[Optional[int], bool, object]:
+        """Returns (prediction, confident, tag to pass back at complete)."""
+        raise NotImplementedError
+
+    def on_complete(self, pc: int, tag: object, actual: int) -> bool:
+        """Scores and trains; returns True if the prediction was correct."""
+        raise NotImplementedError
+
+    def _score(self, pc: int, predicted: Optional[int], confident: bool,
+               actual: int) -> bool:
+        correct = self.stats.record(predicted, actual, confident)
+        if predicted is not None:
+            self.confidence.train(pc, predicted == actual)
+        return correct
+
+
+class LocalPredictorAdapter(PipelinePredictor):
+    """Adapter for PC-indexed local predictors (stride, DFCM, ...).
+
+    With ``spec_update`` the predictor's state is rolled forward at each
+    dispatch as if the prediction were correct (Section 3.1's speculative
+    update, after [10]), so back-to-back in-flight instances of the same
+    instruction chain their predictions instead of reading stale state.
+    Real updates at write-back resynchronise.
+    """
+
+    def __init__(self, inner: ValuePredictor,
+                 confidence: Optional[ConfidenceTable] = None,
+                 spec_update: bool = False):
+        super().__init__(confidence)
+        self.inner = inner
+        self.spec_update = spec_update
+        self.name = inner.name
+
+    def on_dispatch(self, pc: int) -> Tuple[Optional[int], bool, object]:
+        predicted = self.inner.predict(pc)
+        confident = predicted is not None and self.confidence.is_confident(pc)
+        speculated = self.spec_update and predicted is not None
+        if speculated:
+            self.inner.speculative_update(pc)
+        return predicted, confident, (predicted, confident, speculated)
+
+    def on_complete(self, pc: int, tag: object, actual: int) -> bool:
+        predicted, confident, speculated = tag
+        correct = self._score(pc, predicted, confident, actual)
+        if speculated:
+            # Exact bookkeeping: the speculative-advance count always
+            # equals the number of speculated instances still in flight,
+            # so predictions extrapolate the committed state by exactly
+            # the right amount.  Mispredictions need no special squash:
+            # the committed update below re-anchors the chain, and the
+            # remaining in-flight instances mispredict once each — the
+            # same transient cost any value misprediction pays.
+            self.inner.retire_speculation(pc)
+        self.inner.update(pc, actual)
+        return correct
+
+
+class SGVQAdapter(PipelinePredictor):
+    """gDiff with the speculative global value queue (Figure 13).
+
+    ``on_complete`` runs in the core's completion order, so the GVQ fills
+    with speculative execution-order values — including all the variation
+    that cache misses introduce.  Per the paper's implementation note, the
+    queue "does not squash the values in the case of a branch
+    misprediction" (and in a trace-driven model there is no wrong path to
+    squash anyway).
+    """
+
+    def __init__(self, order: int = 32, entries: Optional[int] = 8192,
+                 confidence: Optional[ConfidenceTable] = None):
+        super().__init__(confidence)
+        self.gdiff = GDiffPredictor(order=order, entries=entries)
+        self.name = f"gdiff-sgvq-{order}"
+
+    def on_dispatch(self, pc: int) -> Tuple[Optional[int], bool, object]:
+        predicted = self.gdiff.predict(pc)
+        confident = predicted is not None and self.confidence.is_confident(pc)
+        return predicted, confident, (predicted, confident)
+
+    def on_complete(self, pc: int, tag: object, actual: int) -> bool:
+        predicted, confident = tag
+        correct = self._score(pc, predicted, confident, actual)
+        self.gdiff.update(pc, actual)
+        return correct
+
+
+class HGVQAdapter(PipelinePredictor):
+    """gDiff with the hybrid global value queue (Figure 16).
+
+    Dispatch allocates the instruction's queue slot (seeded with the local
+    filler prediction) and makes the gDiff prediction against the
+    dispatch-ordered window; completion overwrites the slot and trains
+    both tables.  The slot sequence number is the per-instruction tag the
+    paper describes ("a field is associated with each instruction in the
+    issue queue to direct which entry in the HGVQ the result should
+    update").
+    """
+
+    def __init__(self, order: int = 32, entries: Optional[int] = 8192,
+                 filler: Optional[ValuePredictor] = None,
+                 confidence: Optional[ConfidenceTable] = None,
+                 capacity: int = 512):
+        super().__init__(confidence)
+        self.hybrid = HybridGDiffPredictor(
+            order=order, entries=entries, filler=filler, capacity=capacity
+        )
+        self.name = f"gdiff-hgvq-{order}"
+
+    def on_dispatch(self, pc: int) -> Tuple[Optional[int], bool, object]:
+        predicted, seq = self.hybrid.dispatch(pc)
+        confident = predicted is not None and self.confidence.is_confident(pc)
+        return predicted, confident, (predicted, confident, seq)
+
+    def on_complete(self, pc: int, tag: object, actual: int) -> bool:
+        predicted, confident, seq = tag
+        correct = self._score(pc, predicted, confident, actual)
+        self.hybrid.writeback(pc, seq, actual)
+        return correct

@@ -1,0 +1,40 @@
+"""Baseline value predictors rebuilt from the literature.
+
+These are the comparison points the paper evaluates gDiff against:
+last-value, last-N, local (two-delta) stride, FCM, DFCM ("local context"),
+and the first-order Markov address predictor — plus the 3-bit confidence
+mechanism that gates all realistic configurations.
+"""
+
+from .base import ConstantPredictor, PredictionStats, ValuePredictor
+from .confidence import ConfidenceTable, GatedPredictor
+from .ddisc import DDISCPredictor, run_ddisc
+from .dfcm import DFCMPredictor
+from .fcm import FCMPredictor, fold_context
+from .gfcm import GlobalFCMPredictor
+from .hybrid_local import HybridLocalPredictor
+from .last_n import LastNValuePredictor
+from .last_value import LastValuePredictor
+from .markov import MarkovPredictor
+from .pi import PIPredictor
+from .stride import StridePredictor
+
+__all__ = [
+    "ValuePredictor",
+    "PredictionStats",
+    "ConstantPredictor",
+    "ConfidenceTable",
+    "GatedPredictor",
+    "LastValuePredictor",
+    "LastNValuePredictor",
+    "StridePredictor",
+    "FCMPredictor",
+    "DFCMPredictor",
+    "MarkovPredictor",
+    "DDISCPredictor",
+    "run_ddisc",
+    "PIPredictor",
+    "GlobalFCMPredictor",
+    "HybridLocalPredictor",
+    "fold_context",
+]

@@ -1,0 +1,124 @@
+"""Saturating-counter confidence estimation.
+
+The paper gates every realistic predictor (Sections 4-7) with a 3-bit
+confidence mechanism: "when a correct prediction is made, confidence is
+increased by 2; and, it is decreased by 1 if an incorrect prediction is
+found.  A confident prediction is made when the confidence is larger or
+equal to 4."  :class:`ConfidenceTable` implements exactly that policy (with
+the increments, width and threshold exposed for the ablation benches), and
+:class:`GatedPredictor` composes any :class:`ValuePredictor` with a
+confidence table keyed by the same PC index.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..tables import DirectMappedTable
+from .base import PredictionStats, ValuePredictor
+
+
+class ConfidenceTable:
+    """A table of saturating confidence counters, one per PC index.
+
+    Args:
+        bits: counter width in bits (3 in the paper, so counters saturate
+            at 7).
+        up: increment applied on a correct prediction (paper: 2).
+        down: decrement applied on an incorrect prediction (paper: 1).
+        threshold: counter value at or above which a prediction is
+            confident (paper: 4).
+        entries: table size (power of two) or ``None`` for unlimited.
+    """
+
+    def __init__(
+        self,
+        bits: int = 3,
+        up: int = 2,
+        down: int = 1,
+        threshold: int = 4,
+        entries: Optional[int] = None,
+    ):
+        if bits <= 0:
+            raise ValueError("counter width must be positive")
+        self.max_value = (1 << bits) - 1
+        if not 0 <= threshold <= self.max_value:
+            raise ValueError("threshold must fit in the counter width")
+        self.up = up
+        self.down = down
+        self.threshold = threshold
+        self._table = DirectMappedTable(entries=entries)
+
+    def value(self, pc: int) -> int:
+        entry = self._table.lookup(pc)
+        return entry if entry is not None else 0
+
+    def is_confident(self, pc: int) -> bool:
+        """True when the counter for *pc* meets the confidence threshold."""
+        return self.value(pc) >= self.threshold
+
+    def train(self, pc: int, correct: bool) -> None:
+        """Apply the +up / -down saturating update for one outcome."""
+        idx = self._table.index(pc)
+        current = self._table._data.get(idx, 0)
+        if correct:
+            current = min(self.max_value, current + self.up)
+        else:
+            current = max(0, current - self.down)
+        self._table._data[idx] = current
+
+    def reset(self) -> None:
+        self._table.clear()
+
+
+class GatedPredictor(ValuePredictor):
+    """A value predictor composed with a confidence gate.
+
+    ``predict`` returns the inner predictor's value regardless of
+    confidence (the pipeline may still want the value for training
+    purposes); :meth:`predict_confident` additionally reports whether the
+    prediction passed the gate, which is what the speculation machinery
+    acts on.
+    """
+
+    def __init__(self, inner: ValuePredictor, confidence: Optional[ConfidenceTable] = None):
+        self.inner = inner
+        self.confidence = confidence if confidence is not None else ConfidenceTable()
+        self.name = f"gated-{inner.name}"
+        self.stats = PredictionStats()
+        # Predictions outstanding between predict() and update(), keyed by
+        # PC.  In the pipeline model predictions and updates for the same
+        # static PC can overlap; a small per-PC FIFO keeps them matched.
+        self._pending: Dict[int, list] = {}
+
+    def predict(self, pc: int) -> Optional[int]:
+        value = self.inner.predict(pc)
+        confident = value is not None and self.confidence.is_confident(pc)
+        self._pending.setdefault(pc, []).append((value, confident))
+        return value if confident else None
+
+    def predict_confident(self, pc: int):
+        """Return ``(value, confident)`` for the instruction at *pc*."""
+        value = self.inner.predict(pc)
+        confident = value is not None and self.confidence.is_confident(pc)
+        self._pending.setdefault(pc, []).append((value, confident))
+        return value, confident
+
+    def update(self, pc: int, actual: int) -> None:
+        pending = self._pending.get(pc)
+        if pending:
+            predicted, confident = pending.pop(0)
+            if not pending:
+                del self._pending[pc]
+        else:
+            predicted, confident = None, False
+        self.stats.record(predicted, actual, confident)
+        if predicted is not None:
+            self.confidence.train(pc, predicted == actual)
+        self.inner.update(pc, actual)
+
+    def reset(self) -> None:
+        self.inner.reset()
+        self.confidence.reset()
+        self.stats = PredictionStats()
+        self._pending.clear()

@@ -1,0 +1,87 @@
+"""Differential FCM (DFCM) value predictor (Goeman, Vandierendonck &
+De Bosschere, HPCA'01).
+
+The paper's "local context" baseline.  DFCM stores *strides* rather than
+absolute values in the second-level table: the first level keeps, per
+static instruction, the last value and the recent stride context; the
+second level maps a hash of the stride context to the stride that followed
+it.  The prediction is ``last + L2[hash(stride context)]``.  Storing
+differences both improves table usage efficiency and lets DFCM capture
+stride-like *and* periodic behaviour — the hybrid of the computational and
+context-based local models.
+
+Paper configuration: unlimited (profile) or 8K-entry first-level table and
+a 64K-entry second-level table.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..tables import DirectMappedTable
+from ..wordops import wadd, wsub
+from .base import ValuePredictor
+from .fcm import fold_context
+
+
+class _DFCMEntry:
+    """Per-PC first-level state: last value plus recent stride context."""
+
+    __slots__ = ("last", "strides", "seen")
+
+    def __init__(self) -> None:
+        self.last = 0
+        self.strides: List[int] = []
+        self.seen = 0
+
+
+class DFCMPredictor(ValuePredictor):
+    """Order-*order* differential finite context method predictor."""
+
+    name = "local-context"
+
+    def __init__(
+        self,
+        order: int = 4,
+        l1_entries: Optional[int] = 8192,
+        l2_entries: int = 65536,
+    ):
+        if order <= 0:
+            raise ValueError("order must be positive")
+        self.order = order
+        self._l1_entries = l1_entries
+        self.l2_entries = l2_entries
+        self._l1 = DirectMappedTable(entries=l1_entries)
+        self._l2: dict = {}
+
+    def predict(self, pc: int) -> Optional[int]:
+        entry = self._l1.lookup(pc)
+        if entry is None or len(entry.strides) < self.order:
+            return None
+        stride = self._l2.get(
+            fold_context(entry.strides, self.l2_entries, salt=pc)
+        )
+        if stride is None:
+            return None
+        return wadd(entry.last, stride)
+
+    def update(self, pc: int, actual: int) -> None:
+        entry = self._l1.lookup_or_create(pc, _DFCMEntry)
+        if entry.seen == 0:
+            entry.last = actual
+            entry.seen = 1
+            return
+        stride = wsub(actual, entry.last)
+        if len(entry.strides) >= self.order:
+            self._l2[
+                fold_context(entry.strides, self.l2_entries, salt=pc)
+            ] = stride
+        entry.strides.append(stride)
+        if len(entry.strides) > self.order:
+            entry.strides.pop(0)
+        entry.last = actual
+        entry.seen += 1
+
+    def reset(self) -> None:
+        self._l1 = DirectMappedTable(entries=self._l1_entries)
+        self._l2.clear()

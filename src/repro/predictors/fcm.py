@@ -1,0 +1,91 @@
+"""Finite Context Method (FCM) value predictor (Sazeides & Smith).
+
+The canonical *context-based* local predictor: a first-level, PC-indexed
+table records the last *order* values produced by each static instruction;
+a hash of that context indexes a shared second-level table that records the
+value which followed the context last time.  Periodic local value patterns
+of period <= order become perfectly predictable once learned.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..tables import DirectMappedTable
+from ..wordops import WORD_MASK
+from .base import ValuePredictor
+
+#: Multiplier used when folding context values into a hash (a 64-bit odd
+#: constant derived from the golden ratio; the classic Fibonacci-hash
+#: multiplier, chosen to spread strides across the second-level table).
+_HASH_MULT = 0x9E3779B97F4A7C15
+
+
+def fold_context(values: List[int], buckets: int, salt: int = 0) -> int:
+    """Hash an ordered context of machine words into a table index.
+
+    The fold must be order sensitive (context ``(a, b)`` should map
+    differently from ``(b, a)``), which the multiply-accumulate achieves.
+
+    *salt* is folded in first; the FCM/DFCM predictors pass the static PC
+    here so that two instructions with identical value/stride contexts use
+    distinct second-level entries.  Without it, an instruction whose
+    context happens to track another's (e.g. a dependent use one cycle
+    behind its producer) reads second-level entries the producer trained
+    moments earlier, turning the nominally *local* predictor into an
+    accidental global one and badly overstating the baseline.
+    """
+    h = salt & WORD_MASK
+    for v in values:
+        h = ((h * _HASH_MULT) + v) & WORD_MASK
+    return h % buckets
+
+
+class _FCMEntry:
+    """Per-PC first-level state: the most recent *order* values."""
+
+    __slots__ = ("history",)
+
+    def __init__(self) -> None:
+        self.history: List[int] = []
+
+
+class FCMPredictor(ValuePredictor):
+    """Order-*order* finite context method predictor."""
+
+    name = "local-fcm"
+
+    def __init__(
+        self,
+        order: int = 4,
+        l1_entries: Optional[int] = 8192,
+        l2_entries: int = 65536,
+    ):
+        if order <= 0:
+            raise ValueError("order must be positive")
+        self.order = order
+        self._l1_entries = l1_entries
+        self.l2_entries = l2_entries
+        self._l1 = DirectMappedTable(entries=l1_entries)
+        self._l2: dict = {}
+
+    def _context_index(self, pc: int, history: List[int]) -> int:
+        return fold_context(history, self.l2_entries, salt=pc)
+
+    def predict(self, pc: int) -> Optional[int]:
+        entry = self._l1.lookup(pc)
+        if entry is None or len(entry.history) < self.order:
+            return None
+        return self._l2.get(self._context_index(pc, entry.history))
+
+    def update(self, pc: int, actual: int) -> None:
+        entry = self._l1.lookup_or_create(pc, _FCMEntry)
+        if len(entry.history) >= self.order:
+            self._l2[self._context_index(pc, entry.history)] = actual
+        entry.history.append(actual)
+        if len(entry.history) > self.order:
+            entry.history.pop(0)
+
+    def reset(self) -> None:
+        self._l1 = DirectMappedTable(entries=self._l1_entries)
+        self._l2.clear()

@@ -1,0 +1,65 @@
+"""Global finite-context-method predictor (higher-order global context).
+
+Section 2 of the paper classifies global value locality as computational
+or context based, citing the DDISC predictor (Thomas & Franklin, PACT'01)
+as the higher-order *context* exploiter — DDISC derives its context from
+the instruction's dataflow path.  A trace-driven library cannot see
+dataflow, so this rebuild uses the closest structural equivalent: the
+context is the hash of the last *order* values in the **global** value
+history (rather than the instruction's own local history, as in FCM).
+
+A second-level table maps (PC, hashed global context) to the value that
+followed that context for that instruction last time.  Programs whose
+global history reaches the same instruction in the same state — e.g. a
+repeating interleaving of handler values — are predictable this way even
+when no stride relation exists; conversely, any noise in the global
+window scrambles the context, which is why the paper's computational
+(stride) form is the more robust global exploit.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from .base import ValuePredictor
+from .fcm import fold_context
+
+
+class GlobalFCMPredictor(ValuePredictor):
+    """Order-*order* context predictor over the global value history."""
+
+    name = "global-fcm"
+
+    def __init__(self, order: int = 4, l2_entries: int = 65536):
+        if order <= 0:
+            raise ValueError("order must be positive")
+        self.order = order
+        self.l2_entries = l2_entries
+        self._history: Deque[int] = deque(maxlen=order)
+        self._l2: dict = {}
+
+    def _index(self, pc: int) -> Optional[int]:
+        if len(self._history) < self.order:
+            return None
+        return fold_context(list(self._history), self.l2_entries, salt=pc)
+
+    def predict(self, pc: int) -> Optional[int]:
+        index = self._index(pc)
+        if index is None:
+            return None
+        return self._l2.get(index)
+
+    def update(self, pc: int, actual: int) -> None:
+        index = self._index(pc)
+        if index is not None:
+            self._l2[index] = actual
+        self._history.append(actual)
+
+    def observe(self, value: int) -> None:
+        """Push a value into the global history without training."""
+        self._history.append(value)
+
+    def reset(self) -> None:
+        self._history.clear()
+        self._l2.clear()

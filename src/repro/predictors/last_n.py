@@ -1,0 +1,54 @@
+"""Last-N value predictor (Burtscher & Zorn, PACT'99).
+
+Keeps the last *n* distinct values produced by each static instruction and
+predicts the one that has most recently been correct.  The paper cites this
+scheme as part of the local-history predictor family; we rebuild it as an
+additional baseline for the coverage comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..tables import DirectMappedTable
+from .base import ValuePredictor
+
+
+class _LastNEntry:
+    """Per-PC state: an MRU-ordered list of recent values."""
+
+    __slots__ = ("values",)
+
+    def __init__(self) -> None:
+        self.values: List[int] = []
+
+
+class LastNValuePredictor(ValuePredictor):
+    """Predicts the most-recently-confirmed of the last *n* values."""
+
+    name = "last-n"
+
+    def __init__(self, n: int = 4, entries: Optional[int] = 8192):
+        if n <= 0:
+            raise ValueError("n must be positive")
+        self.n = n
+        self._entries = entries
+        self._table = DirectMappedTable(entries=entries)
+
+    def predict(self, pc: int) -> Optional[int]:
+        entry = self._table.lookup(pc)
+        if entry is None or not entry.values:
+            return None
+        return entry.values[0]
+
+    def update(self, pc: int, actual: int) -> None:
+        entry = self._table.lookup_or_create(pc, _LastNEntry)
+        values = entry.values
+        if actual in values:
+            # Move the confirmed value to MRU position.
+            values.remove(actual)
+        values.insert(0, actual)
+        del values[self.n :]
+
+    def reset(self) -> None:
+        self._table = DirectMappedTable(entries=self._entries)

@@ -1,0 +1,35 @@
+"""Last-value predictor (Lipasti, Wilkerson & Shen, ASPLOS-7).
+
+The simplest exploitation of local value locality: predict that an
+instruction will produce the same value it produced last time.  Serves as
+the floor baseline and as the default *filler* alternative in the HGVQ
+ablation study.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..tables import DirectMappedTable
+from .base import ValuePredictor
+
+
+class LastValuePredictor(ValuePredictor):
+    """PC-indexed table of most recent results."""
+
+    name = "last-value"
+
+    def __init__(self, entries: Optional[int] = 8192):
+        self._entries = entries
+        self._table = DirectMappedTable(entries=entries)
+
+    def predict(self, pc: int) -> Optional[int]:
+        entry = self._table.lookup(pc)
+        return entry
+
+    def update(self, pc: int, actual: int) -> None:
+        self._table.lookup_or_create(pc, lambda: actual)
+        self._table._data[self._table.index(pc)] = actual
+
+    def reset(self) -> None:
+        self._table = DirectMappedTable(entries=self._entries)

@@ -1,0 +1,69 @@
+"""Previous-instruction (PI) value predictor (Nakra, Gupta & Soffa,
+HPCA-5: "Global context-based value prediction").
+
+The paper positions this as the first use of *global* value history: "the
+previous instruction (PI) based predictor was proposed to explore the
+correlation between two immediately close instructions in the dynamic
+instruction stream ... It may be viewed as the first-order global
+context-based predictor."
+
+Our rebuild captures that first-order structure: per static instruction,
+the table stores the difference between the instruction's result and the
+value produced *immediately before it* in the global stream; a prediction
+is the current global last value plus that stored difference, made once
+the difference has repeated (the same confirm-once rule gDiff uses).  PI
+is exactly an order-1 gDiff — which is why it serves as the natural
+ancestor baseline in the extension benches: everything PI catches, gDiff
+catches at distance 1, and gDiff additionally reaches distances 2..n.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..tables import DirectMappedTable
+from ..wordops import wadd, wsub
+from .base import ValuePredictor
+
+
+class _PIEntry:
+    """Per-PC state: candidate and confirmed distance-1 differences."""
+
+    __slots__ = ("diff", "confirmed")
+
+    def __init__(self) -> None:
+        self.diff: Optional[int] = None
+        self.confirmed = False
+
+
+class PIPredictor(ValuePredictor):
+    """First-order global context (previous-instruction) predictor."""
+
+    name = "pi"
+
+    def __init__(self, entries: Optional[int] = 8192):
+        self._entries = entries
+        self._table = DirectMappedTable(entries=entries)
+        self._last_global: Optional[int] = None
+
+    def predict(self, pc: int) -> Optional[int]:
+        entry = self._table.lookup(pc)
+        if entry is None or not entry.confirmed or self._last_global is None:
+            return None
+        return wadd(self._last_global, entry.diff)
+
+    def update(self, pc: int, actual: int) -> None:
+        entry = self._table.lookup_or_create(pc, _PIEntry)
+        if self._last_global is not None:
+            diff = wsub(actual, self._last_global)
+            entry.confirmed = entry.diff == diff
+            entry.diff = diff
+        self._last_global = actual
+
+    def observe(self, value: int) -> None:
+        """Advance the global last value without training any entry."""
+        self._last_global = value
+
+    def reset(self) -> None:
+        self._table = DirectMappedTable(entries=self._entries)
+        self._last_global = None

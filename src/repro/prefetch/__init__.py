@@ -1,0 +1,13 @@
+"""gDiff-driven memory prefetching (the paper's future-work extension).
+
+Section 6 shows gDiff detecting global stride locality in the load
+address stream and predicting the addresses of missing loads better than
+local stride or Markov predictors, and closes: "One interesting work is
+to extend gDiff to further explore global stride locality in load address
+stream for memory prefetch and for reducing load-use latency."  This
+package builds that extension as a library component.
+"""
+
+from .prefetcher import GDiffPrefetcher, PrefetchStats, simulate_prefetching
+
+__all__ = ["GDiffPrefetcher", "PrefetchStats", "simulate_prefetching"]

@@ -1,0 +1,25 @@
+"""Trace model and synthetic workload infrastructure.
+
+The reproduction is trace driven: :mod:`repro.trace.isa` defines the
+dynamic-instruction record, :mod:`repro.trace.trace` the trace containers,
+:mod:`repro.trace.kernels` the value-stream building blocks, and
+:mod:`repro.trace.workloads` the ten SPECint2000-like benchmark generators.
+"""
+
+from .isa import NUM_REGS, Instruction, OpClass, branch, ialu, load, store
+from .trace import Trace, TraceStats, load_address_stream, take, value_stream
+
+__all__ = [
+    "Instruction",
+    "OpClass",
+    "NUM_REGS",
+    "ialu",
+    "load",
+    "store",
+    "branch",
+    "Trace",
+    "TraceStats",
+    "take",
+    "value_stream",
+    "load_address_stream",
+]

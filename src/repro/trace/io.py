@@ -1,0 +1,128 @@
+"""Trace serialization: save and reload instruction traces.
+
+Trace generation is deterministic, but regenerating a long workload for
+every experiment repeats work, and users reproducing results across
+machines want a stable artefact.  The format is a line-oriented text
+format (optionally gzip-compressed by file extension):
+
+* header line: ``#repro-trace v1 <name>``
+* one line per instruction:
+  ``<op> <pc> <dest> <srcs> <value> <addr> <taken> <target>``
+  with hexadecimal numbers, ``-`` for absent fields, srcs as
+  comma-joined registers (or ``-``), and op as the OpClass name.
+
+The format round-trips every field of
+:class:`~repro.trace.isa.Instruction` exactly (property tested).
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+from pathlib import Path
+from typing import Iterable, Iterator, List, Union
+
+from .isa import Instruction, OpClass
+from .trace import Trace
+
+_HEADER_PREFIX = "#repro-trace v1"
+
+
+def _open(path: Union[str, Path], mode: str):
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="ascii")
+    return open(path, mode, encoding="ascii")
+
+
+def _field(value, fmt: str = "x") -> str:
+    if value is None:
+        return "-"
+    if fmt == "x":
+        return format(value, "x")
+    return str(value)
+
+
+def _encode(insn: Instruction) -> str:
+    srcs = ",".join(format(r, "d") for r in insn.srcs) if insn.srcs else "-"
+    taken = "-" if insn.taken is None else ("1" if insn.taken else "0")
+    return " ".join([
+        insn.op.name,
+        format(insn.pc, "x"),
+        _field(insn.dest, "d") if insn.dest is not None else "-",
+        srcs,
+        _field(insn.value),
+        _field(insn.addr),
+        taken,
+        _field(insn.target),
+    ])
+
+
+def _parse_int(token: str, base: int = 16):
+    return None if token == "-" else int(token, base)
+
+
+def _decode(line: str) -> Instruction:
+    parts = line.split(" ")
+    if len(parts) != 8:
+        raise ValueError(f"malformed trace line: {line!r}")
+    op_name, pc, dest, srcs, value, addr, taken, target = parts
+    try:
+        op = OpClass[op_name]
+    except KeyError:
+        raise ValueError(f"unknown op class {op_name!r}") from None
+    return Instruction(
+        pc=int(pc, 16),
+        op=op,
+        dest=_parse_int(dest, 10),
+        srcs=tuple(int(r) for r in srcs.split(",")) if srcs != "-" else (),
+        value=_parse_int(value),
+        addr=_parse_int(addr),
+        taken=None if taken == "-" else taken == "1",
+        target=_parse_int(target),
+    )
+
+
+def save_trace(trace: Iterable[Instruction], path: Union[str, Path],
+               name: str = "trace") -> int:
+    """Write a trace to *path* (gzip if the name ends in .gz).
+
+    Returns the number of instructions written.
+    """
+    if isinstance(trace, Trace):
+        name = trace.name
+    count = 0
+    with _open(path, "w") as fh:
+        fh.write(f"{_HEADER_PREFIX} {name}\n")
+        for insn in trace:
+            fh.write(_encode(insn) + "\n")
+            count += 1
+    return count
+
+
+def iter_trace(path: Union[str, Path]) -> Iterator[Instruction]:
+    """Stream instructions from a saved trace file."""
+    with _open(path, "r") as fh:
+        header = fh.readline().rstrip("\n")
+        if not header.startswith(_HEADER_PREFIX):
+            raise ValueError(f"{path}: not a repro trace file")
+        for line in fh:
+            line = line.rstrip("\n")
+            if line:
+                yield _decode(line)
+
+
+def load_trace(path: Union[str, Path]) -> Trace:
+    """Load a full trace (with its recorded name) from *path*."""
+    path = Path(path)
+    with _open(path, "r") as fh:
+        header = fh.readline().rstrip("\n")
+        if not header.startswith(_HEADER_PREFIX):
+            raise ValueError(f"{path}: not a repro trace file")
+        name = header[len(_HEADER_PREFIX):].strip() or path.stem
+        instructions: List[Instruction] = []
+        for line in fh:
+            line = line.rstrip("\n")
+            if line:
+                instructions.append(_decode(line))
+    return Trace(instructions, name=name)

@@ -1,0 +1,127 @@
+"""Trace containers and stream utilities.
+
+A *trace* is simply an iterable of :class:`~repro.trace.isa.Instruction`
+records in dynamic program order (the committed instruction stream).  This
+module provides:
+
+* :class:`Trace` — a materialised trace with summary statistics, suitable
+  for running several predictors over the same instruction stream.
+* :func:`value_stream` — extract the global value history (the ordered
+  sequence of values produced by all value-producing instructions), which
+  is the object of study of the paper.
+* :func:`load_address_stream` — extract the load-address stream used by the
+  Section 6 experiments.
+* :func:`take` — bounded materialisation of a generator-backed workload.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .isa import Instruction, OpClass
+
+
+@dataclass
+class TraceStats:
+    """Summary statistics over a trace."""
+
+    total: int = 0
+    value_producing: int = 0
+    loads: int = 0
+    stores: int = 0
+    branches: int = 0
+    static_pcs: int = 0
+
+    def __str__(self) -> str:
+        return (
+            f"{self.total} instructions "
+            f"({self.value_producing} value-producing, {self.loads} loads, "
+            f"{self.stores} stores, {self.branches} branches, "
+            f"{self.static_pcs} static PCs)"
+        )
+
+
+class Trace:
+    """A materialised dynamic instruction trace.
+
+    The class is a thin wrapper around a list of instructions that also
+    computes summary statistics and supports slicing, iteration and the
+    common stream extractions used by the experiment harness.
+    """
+
+    def __init__(self, instructions: Iterable[Instruction], name: str = "trace"):
+        self.name = name
+        self.instructions: List[Instruction] = list(instructions)
+        self._stats: Optional[TraceStats] = None
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __getitem__(self, index):
+        return self.instructions[index]
+
+    @property
+    def stats(self) -> TraceStats:
+        """Compute (and cache) summary statistics for the trace."""
+        if self._stats is None:
+            stats = TraceStats()
+            pcs = set()
+            for insn in self.instructions:
+                stats.total += 1
+                pcs.add(insn.pc)
+                if insn.produces_value:
+                    stats.value_producing += 1
+                if insn.op is OpClass.LOAD:
+                    stats.loads += 1
+                elif insn.op is OpClass.STORE:
+                    stats.stores += 1
+                elif insn.op is OpClass.BRANCH:
+                    stats.branches += 1
+            stats.static_pcs = len(pcs)
+            self._stats = stats
+        return self._stats
+
+    def value_producing(self) -> Iterator[Instruction]:
+        """Iterate over only the value-producing instructions."""
+        return (i for i in self.instructions if i.produces_value)
+
+    def loads(self) -> Iterator[Instruction]:
+        """Iterate over only the load instructions."""
+        return (i for i in self.instructions if i.op is OpClass.LOAD)
+
+    def per_pc_values(self) -> Dict[int, List[int]]:
+        """Group produced values by static PC (the *local* value histories)."""
+        histories: Dict[int, List[int]] = {}
+        for insn in self.instructions:
+            if insn.produces_value:
+                histories.setdefault(insn.pc, []).append(insn.value)
+        return histories
+
+
+def take(stream: Iterable[Instruction], count: int, name: str = "trace") -> Trace:
+    """Materialise the first *count* instructions of a workload stream."""
+    return Trace(itertools.islice(stream, count), name=name)
+
+
+def value_stream(trace: Iterable[Instruction]) -> List[int]:
+    """Return the global value history of a trace.
+
+    This is the ordered sequence (x_0, x_1, ..., x_N) of values produced by
+    all dynamic value-producing instructions — the sequence in which the
+    paper's gDiff predictor searches for stride locality.
+    """
+    return [i.value for i in trace if i.produces_value]
+
+
+def load_address_stream(trace: Iterable[Instruction]) -> List[Tuple[int, int]]:
+    """Return the load-address stream as (pc, address) pairs.
+
+    Section 6 of the paper runs gDiff over this stream (only load addresses
+    pass into the GVQ) to detect global stride locality between addresses.
+    """
+    return [(i.pc, i.addr) for i in trace if i.op is OpClass.LOAD]

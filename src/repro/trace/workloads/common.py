@@ -1,0 +1,63 @@
+"""Shared helpers for the benchmark workload specs.
+
+Benchmarks are assembled from three loop shapes:
+
+* :func:`small_loop` — the workhorse: a few distinct kernels in one dense
+  body (~6-8 values in ~14-20 instructions, real integer code's
+  value-producing density).  Each kernel's previous result is only a few
+  entries back in the global value queue *and* a full body away in
+  instructions.
+* :func:`tiny` — a single-kernel loop, used where one structure should
+  dominate (pointer chases, chains); the ``pad`` argument sets the body's
+  instruction length without touching the value stream.
+* :func:`loop` — a large mixed body (~25-40 instructions) where local
+  predictors are comfortable and only a deep global queue reaches the
+  previous iteration.
+
+The balance between the shapes is each benchmark's main calibration dial;
+see DESIGN.md section 2.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from ..kernels import Kernel, PadKernel
+from ..synthetic import KernelSlot, LoopGroup
+
+
+def tiny(factory: Callable[[], Kernel], iterations: int = 50,
+         weight: int = 1, repeat: int = 1, pad: int = 12,
+         pad_stores: int = 4) -> LoopGroup:
+    """A tiny inner loop around a single kernel.
+
+    ``pad`` non-value-producing instructions (stores and generic work; see
+    :class:`~repro.trace.kernels.PadKernel`) stretch the body so dynamic
+    instances of the loop's static instructions are realistically far
+    apart in the instruction stream — the value stream is unaffected.
+    """
+    slots = [KernelSlot(factory, repeat=repeat)]
+    if pad:
+        slots.append(KernelSlot(
+            lambda: PadKernel(count=pad, store_every=pad_stores)))
+    return LoopGroup(slots=slots, iterations=iterations, weight=weight)
+
+
+def small_loop(factories: List[Callable[[], Kernel]], iterations: int = 50,
+               weight: int = 1, pad: int = 6,
+               pad_stores: int = 4) -> LoopGroup:
+    """A small hot loop combining a few kernels into one dense body."""
+    slots: List[KernelSlot] = [KernelSlot(f) for f in factories]
+    if pad:
+        slots.append(KernelSlot(
+            lambda: PadKernel(count=pad, store_every=pad_stores)))
+    return LoopGroup(slots=slots, iterations=iterations, weight=weight)
+
+
+def loop(slots: List[KernelSlot], iterations: int = 20,
+         weight: int = 1, pad: int = 10) -> LoopGroup:
+    """A larger inner loop with a mixed body (padded like :func:`tiny`)."""
+    body = list(slots)
+    if pad:
+        body.append(KernelSlot(lambda: PadKernel(count=pad)))
+    return LoopGroup(slots=body, iterations=iterations, weight=weight)

@@ -1,0 +1,81 @@
+"""gap — computational group theory interpreter.
+
+The paper's hardest benchmark: "hard-to-predict generational values and
+the long computation chain of these hard-to-predict values" keep every
+predictor near 40% at profile queue size 8, but growing the GVQ to 32
+captures the long chains and lifts gDiff to 59.7% (Section 3).
+
+Encoded with :class:`ParallelChainsKernel` (ten interleaved def/use chains
+whose correlated values sit exactly ten slots apart — beyond an order-8
+queue, inside an order-32 one), heavy generational noise, and a modest
+regular substrate.
+"""
+
+from __future__ import annotations
+
+from ..kernels import (
+    HashProbeKernel,
+    ArrayWalkKernel,
+    BranchyKernel,
+    ChainKernel,
+    CounterClusterKernel,
+    CounterKernel,
+    ParallelChainsKernel,
+    PeriodicKernel,
+    RandomKernel,
+)
+from ..synthetic import KernelSlot, WorkloadSpec
+from .common import loop, small_loop, tiny
+
+
+def spec() -> WorkloadSpec:
+    """Build the gap-like workload."""
+    return WorkloadSpec(
+        name="gap",
+        seed=0x6A9,
+        description="generational noise and long chains; queue-32 territory",
+        groups=[
+            small_loop(
+                [
+                    lambda: CounterClusterKernel(count=4, stride=4),
+                    lambda: ArrayWalkKernel(elem_stride=8,
+                                            value_mode="stride",
+                                            footprint=1 << 15),
+                    lambda: CounterKernel(stride=16),
+                    lambda: RandomKernel(span=1 << 30),
+                    lambda: BranchyKernel(taken_prob=0.78),
+                ],
+                iterations=55,
+            ),
+            loop(
+                [
+                    KernelSlot(lambda: CounterClusterKernel(count=3, stride=8),
+                               repeat=2),
+                    KernelSlot(lambda: ArrayWalkKernel(
+                        elem_stride=8, value_mode="stride",
+                        footprint=1 << 15), repeat=3),
+                    KernelSlot(lambda: PeriodicKernel(period=12)),
+                    KernelSlot(lambda: PeriodicKernel(period=36)),
+                    KernelSlot(lambda: RandomKernel(span=1 << 30, chain=2),
+                               repeat=2),
+                    KernelSlot(lambda: BranchyKernel(taken_prob=0.85)),
+                ],
+                iterations=8,
+            ),
+            # The long-computation-chain signature: correlations ten values
+            # back, plus heavy fresh noise.
+            tiny(lambda: ParallelChainsKernel(width=10, rounds=1),
+                 iterations=14, pad=10),
+            small_loop(
+                [
+                    lambda: RandomKernel(span=1 << 30, chain=1),
+                    lambda: ChainKernel(uses=3, offsets=(8, 16, 24),
+                                        footprint=1 << 15, spread=16),
+                    lambda: HashProbeKernel(buckets=96, reorder_prob=0.25),
+                    lambda: RandomKernel(span=1 << 29, chain=1),
+                ],
+                iterations=16,
+                pad=4,
+            ),
+        ],
+    )

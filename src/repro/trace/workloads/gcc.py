@@ -1,0 +1,78 @@
+"""gcc — optimising compiler.
+
+Large, irregular code: a solid regular substrate across many small loops,
+a real share of spill/fill traffic (compiler register pressure), short
+dependent chains over IR fields, revisited hash buckets, and noticeable
+control-flow variation (hammocks and poorly biased branches).
+"""
+
+from __future__ import annotations
+
+from ..kernels import (
+    HashProbeKernel,
+    ArrayWalkKernel,
+    BranchyKernel,
+    ChainKernel,
+    ConstantKernel,
+    CounterClusterKernel,
+    CounterKernel,
+    PeriodicKernel,
+    RandomKernel,
+    RetraverseKernel,
+    SpillFillKernel,
+)
+from ..synthetic import KernelSlot, WorkloadSpec
+from .common import loop, small_loop
+
+
+def spec() -> WorkloadSpec:
+    """Build the gcc-like workload."""
+    return WorkloadSpec(
+        name="gcc",
+        seed=0x6CC,
+        description="irregular compiler: spill/fill, short chains, hammocks",
+        groups=[
+            small_loop(
+                [
+                    lambda: CounterClusterKernel(count=3, stride=8),
+                    lambda: ArrayWalkKernel(elem_stride=16,
+                                            value_mode="stride",
+                                            footprint=1 << 15),
+                    lambda: CounterKernel(stride=4),
+                    lambda: ConstantKernel(value=0x1000_0000),
+                    lambda: PeriodicKernel(period=36),
+                    lambda: BranchyKernel(taken_prob=0.72),
+                ],
+                iterations=60,
+            ),
+            loop(
+                [
+                    KernelSlot(lambda: CounterClusterKernel(count=3, stride=8),
+                               repeat=2),
+                    KernelSlot(lambda: ArrayWalkKernel(
+                        elem_stride=16, value_mode="stride",
+                        footprint=1 << 16), repeat=3),
+                    KernelSlot(lambda: PeriodicKernel(period=12), repeat=2),
+                    KernelSlot(lambda: PeriodicKernel(period=14)),
+                    KernelSlot(lambda: RandomKernel(span=1 << 28)),
+                    KernelSlot(lambda: RetraverseKernel(
+                        sites=128, reorder_prob=0.4)),
+                    KernelSlot(lambda: BranchyKernel(taken_prob=0.7)),
+                ],
+                iterations=10,
+            ),
+            # IR-field chains and register spill/fill.
+            small_loop(
+                [
+                    lambda: ChainKernel(uses=4, offsets=(8, 24, 40, 16),
+                                        footprint=1 << 16, spread=16),
+                    lambda: HashProbeKernel(buckets=192, reorder_prob=0.3),
+                    lambda: SpillFillKernel(gap=1, footprint=1 << 14,
+                                            spread=16),
+                    lambda: CounterKernel(stride=8),
+                ],
+                iterations=28,
+                pad=4,
+            ),
+        ],
+    )

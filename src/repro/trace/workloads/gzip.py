@@ -1,0 +1,69 @@
+"""gzip — LZ77 compressor.
+
+Window scans in dense loops with regular addresses but data-dependent
+(hard) match values, dependent arithmetic on lengths/distances, and a
+cache-resident footprint (the 32 KB window).
+"""
+
+from __future__ import annotations
+
+from ..kernels import (
+    HashProbeKernel,
+    ArrayWalkKernel,
+    BranchyKernel,
+    ChainKernel,
+    CounterClusterKernel,
+    CounterKernel,
+    PeriodicKernel,
+    RandomKernel,
+)
+from ..synthetic import KernelSlot, WorkloadSpec
+from .common import loop, small_loop
+
+
+def spec() -> WorkloadSpec:
+    """Build the gzip-like workload."""
+    return WorkloadSpec(
+        name="gzip",
+        seed=0x6219,
+        description="window scans; hard match values; cache-resident",
+        groups=[
+            small_loop(
+                [
+                    lambda: CounterClusterKernel(count=3, stride=1),
+                    lambda: ArrayWalkKernel(elem_stride=4,
+                                            value_mode="stride",
+                                            footprint=1 << 15),
+                    lambda: CounterKernel(stride=1),
+                    lambda: PeriodicKernel(period=36),
+                    lambda: BranchyKernel(taken_prob=0.8),
+                ],
+                iterations=65,
+            ),
+            loop(
+                [
+                    KernelSlot(lambda: CounterClusterKernel(count=3, stride=2),
+                               repeat=2),
+                    KernelSlot(lambda: ArrayWalkKernel(
+                        elem_stride=4, value_mode="stride",
+                        footprint=1 << 14), repeat=3),
+                    KernelSlot(lambda: PeriodicKernel(period=12), repeat=2),
+                    KernelSlot(lambda: PeriodicKernel(period=14), repeat=2),
+                    KernelSlot(lambda: RandomKernel(span=1 << 26, chain=1)),
+                    KernelSlot(lambda: BranchyKernel(taken_prob=0.85)),
+                ],
+                iterations=10,
+            ),
+            # Length/distance arithmetic on hard match values.
+            small_loop(
+                [
+                    lambda: ChainKernel(uses=4, offsets=(2, 5, 9, 3),
+                                        footprint=1 << 14, spread=16),
+                    lambda: HashProbeKernel(buckets=64, reorder_prob=0.3),
+                    lambda: RandomKernel(span=1 << 26, chain=1),
+                ],
+                iterations=30,
+                pad=4,
+            ),
+        ],
+    )

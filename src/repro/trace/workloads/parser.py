@@ -1,0 +1,86 @@
+"""parser — link-grammar natural-language parser.
+
+The paper's motivating benchmark: Figures 1 and 2 show a parser load whose
+value sequence looks like noise locally but is an exact copy of an earlier
+instruction's result — register spill/fill.  Figure 4's next/string
+allocation-order stride also comes from parser.  gDiff gains up to 34
+accuracy points over the local predictors here.
+
+Encoded with heavy spill/fill and dependent-chain loops, a pointer-chase
+loop with the paired-field structure, and a modest regular substrate so
+the local predictors land near the paper's ~45%.
+"""
+
+from __future__ import annotations
+
+from ..kernels import (
+    HashProbeKernel,
+    ArrayWalkKernel,
+    BranchyKernel,
+    ChainKernel,
+    ConstantKernel,
+    CounterClusterKernel,
+    PeriodicKernel,
+    PointerChaseKernel,
+    RandomKernel,
+    SpillFillKernel,
+)
+from ..synthetic import KernelSlot, WorkloadSpec
+from .common import loop, small_loop, tiny
+
+
+def spec() -> WorkloadSpec:
+    """Build the parser-like workload."""
+    return WorkloadSpec(
+        name="parser",
+        seed=0xA45E,
+        description="spill/fill traffic and dependent chains; Figure 2's shape",
+        groups=[
+            small_loop(
+                [
+                    lambda: CounterClusterKernel(count=4, stride=8),
+                    lambda: ArrayWalkKernel(elem_stride=8,
+                                            value_mode="stride",
+                                            footprint=1 << 15),
+                    lambda: ConstantKernel(value=0x2A),
+                    lambda: PeriodicKernel(period=36),
+                    lambda: BranchyKernel(taken_prob=0.75),
+                ],
+                iterations=52,
+            ),
+            loop(
+                [
+                    KernelSlot(lambda: CounterClusterKernel(count=3, stride=8),
+                               repeat=2),
+                    KernelSlot(lambda: ArrayWalkKernel(
+                        elem_stride=8, value_mode="stride",
+                        footprint=1 << 15), repeat=2),
+                    KernelSlot(lambda: PeriodicKernel(period=12)),
+                    KernelSlot(lambda: PeriodicKernel(period=14)),
+                    KernelSlot(lambda: RandomKernel(span=1 << 27)),
+                    KernelSlot(lambda: BranchyKernel(taken_prob=0.8)),
+                ],
+                iterations=8,
+            ),
+            # The motivating structures: spill/fill and dependent chains.
+            small_loop(
+                [
+                    lambda: ChainKernel(uses=4, offsets=(24, 48, 72, 96),
+                                        footprint=1 << 16, spread=16),
+                    lambda: HashProbeKernel(buckets=128, reorder_prob=0.25),
+                    lambda: SpillFillKernel(gap=1, footprint=1 << 14,
+                                            spread=16),
+                ],
+                iterations=50,
+                pad=4,
+            ),
+            tiny(lambda: PointerChaseKernel(
+                node_stride=48,
+                field_offset=8,
+                payload_delta=16,
+                fields=2,
+                jump_prob=0.1,
+                footprint=1 << 19,
+            ), iterations=25, pad=30),
+        ],
+    )

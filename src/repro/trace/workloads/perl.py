@@ -1,0 +1,75 @@
+"""perl — perl interpreter (perlbmk).
+
+Interpreter dispatch: constants and repeating opcode-handler sequences
+(context locality for DFCM), solid counter groups in dense loops, a
+moderate share of dependent-chain and spill/fill traffic.  One of the
+more predictable benchmarks for every scheme, with >90% gated accuracy in
+Figure 16.
+"""
+
+from __future__ import annotations
+
+from ..kernels import (
+    HashProbeKernel,
+    ArrayWalkKernel,
+    BranchyKernel,
+    ChainKernel,
+    ConstantKernel,
+    CounterClusterKernel,
+    CounterKernel,
+    PeriodicKernel,
+    RandomKernel,
+    SpillFillKernel,
+)
+from ..synthetic import KernelSlot, WorkloadSpec
+from .common import loop, small_loop
+
+
+def spec() -> WorkloadSpec:
+    """Build the perl-like workload."""
+    return WorkloadSpec(
+        name="perl",
+        seed=0xBE51,
+        description="interpreter dispatch: constants, periodic handlers",
+        groups=[
+            small_loop(
+                [
+                    lambda: CounterClusterKernel(count=4, stride=16),
+                    lambda: ConstantKernel(value=0x5E1F),
+                    lambda: ArrayWalkKernel(elem_stride=8,
+                                            value_mode="stride",
+                                            footprint=1 << 15),
+                    lambda: CounterKernel(stride=8),
+                    lambda: PeriodicKernel(period=36),
+                    lambda: BranchyKernel(taken_prob=0.74),
+                ],
+                iterations=62,
+            ),
+            loop(
+                [
+                    KernelSlot(lambda: CounterClusterKernel(count=3, stride=16),
+                               repeat=2),
+                    KernelSlot(lambda: ArrayWalkKernel(
+                        elem_stride=8, value_mode="stride",
+                        footprint=1 << 14), repeat=2),
+                    KernelSlot(lambda: PeriodicKernel(period=12), repeat=2),
+                    KernelSlot(lambda: PeriodicKernel(period=14), repeat=2),
+                    KernelSlot(lambda: RandomKernel(span=1 << 26)),
+                    KernelSlot(lambda: BranchyKernel(taken_prob=0.75)),
+                ],
+                iterations=10,
+            ),
+            small_loop(
+                [
+                    lambda: ChainKernel(uses=3, offsets=(8, 16, 24),
+                                        footprint=1 << 14, spread=16),
+                    lambda: HashProbeKernel(buckets=160, reorder_prob=0.2),
+                    lambda: SpillFillKernel(gap=1, footprint=1 << 13,
+                                            spread=16),
+                    lambda: CounterKernel(stride=16),
+                ],
+                iterations=30,
+                pad=4,
+            ),
+        ],
+    )

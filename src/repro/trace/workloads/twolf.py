@@ -1,0 +1,81 @@
+"""twolf — standard-cell placement and routing.
+
+Like parser, a benchmark where the paper reports gDiff gaining up to 34
+points over local predictors: simulated-annealing moves read freshly
+perturbed (hard) coordinates and then compute long runs of dependent
+deltas from them.  Local predictability is the lowest in the suite after
+gap; global stride locality is everywhere.
+"""
+
+from __future__ import annotations
+
+from ..kernels import (
+    HashProbeKernel,
+    ArrayWalkKernel,
+    BranchyKernel,
+    ChainKernel,
+    CounterClusterKernel,
+    PeriodicKernel,
+    PointerChaseKernel,
+    RandomKernel,
+    SpillFillKernel,
+)
+from ..synthetic import KernelSlot, WorkloadSpec
+from .common import loop, small_loop, tiny
+
+
+def spec() -> WorkloadSpec:
+    """Build the twolf-like workload."""
+    return WorkloadSpec(
+        name="twolf",
+        seed=0x2801F,
+        description="annealing moves: hard coordinates, dependent deltas",
+        groups=[
+            small_loop(
+                [
+                    lambda: CounterClusterKernel(count=3, stride=4),
+                    lambda: ArrayWalkKernel(elem_stride=16,
+                                            value_mode="stride",
+                                            footprint=1 << 15),
+                    lambda: PeriodicKernel(period=36),
+                    lambda: BranchyKernel(taken_prob=0.7),
+                ],
+                iterations=72,
+            ),
+            loop(
+                [
+                    KernelSlot(lambda: CounterClusterKernel(count=3, stride=4),
+                               repeat=2),
+                    KernelSlot(lambda: ArrayWalkKernel(
+                        elem_stride=16, value_mode="stride",
+                        footprint=1 << 16), repeat=2),
+                    KernelSlot(lambda: PeriodicKernel(period=12)),
+                    KernelSlot(lambda: PeriodicKernel(period=14)),
+                    KernelSlot(lambda: RandomKernel(span=1 << 27)),
+                    KernelSlot(lambda: BranchyKernel(taken_prob=0.7)),
+                ],
+                iterations=8,
+            ),
+            # The annealing-move delta chains (the gDiff territory).
+            small_loop(
+                [
+                    lambda: ChainKernel(uses=5, offsets=(4, 12, 20, 28, 36),
+                                        footprint=1 << 16, spread=16),
+                    lambda: HashProbeKernel(buckets=96, reorder_prob=0.3),
+                    lambda: SpillFillKernel(gap=2, footprint=1 << 15,
+                                            spread=16),
+                    lambda: RandomKernel(span=1 << 27),
+                ],
+                iterations=55,
+                pad=4,
+            ),
+            tiny(lambda: PointerChaseKernel(
+                node_stride=56,
+                field_offset=16,
+                payload_delta=40,
+                fields=1,
+                jump_prob=0.15,
+                footprint=1 << 20,
+            ), iterations=20, pad=30),
+        ],
+    )

@@ -1,0 +1,76 @@
+"""vortex — object-oriented database.
+
+High value predictability across the board: object headers carry
+constants, record walks advance in lockstep in dense loops, and the same
+structures are revisited repeatedly (giving the Markov address predictor
+its tag hits).  A moderate share of spill/fill and short chains keeps
+gDiff ahead.
+"""
+
+from __future__ import annotations
+
+from ..kernels import (
+    HashProbeKernel,
+    ArrayWalkKernel,
+    BranchyKernel,
+    ChainKernel,
+    ConstantKernel,
+    CounterClusterKernel,
+    CounterKernel,
+    PeriodicKernel,
+    RetraverseKernel,
+    SpillFillKernel,
+)
+from ..synthetic import KernelSlot, WorkloadSpec
+from .common import loop, small_loop
+
+
+def spec() -> WorkloadSpec:
+    """Build the vortex-like workload."""
+    return WorkloadSpec(
+        name="vortex",
+        seed=0x40E7,
+        description="OO database: constants, lockstep walks, revisits",
+        groups=[
+            small_loop(
+                [
+                    lambda: CounterClusterKernel(count=4, stride=24),
+                    lambda: ConstantKernel(value=0x564F5254),
+                    lambda: ArrayWalkKernel(elem_stride=24,
+                                            value_mode="stride",
+                                            footprint=1 << 15),
+                    lambda: CounterKernel(stride=32),
+                    lambda: PeriodicKernel(period=36),
+                    lambda: BranchyKernel(taken_prob=0.82),
+                ],
+                iterations=65,
+            ),
+            loop(
+                [
+                    KernelSlot(lambda: CounterClusterKernel(count=3, stride=24),
+                               repeat=2),
+                    KernelSlot(lambda: ArrayWalkKernel(
+                        elem_stride=24, value_mode="stride",
+                        footprint=1 << 15), repeat=2),
+                    KernelSlot(lambda: PeriodicKernel(period=12)),
+                    KernelSlot(lambda: PeriodicKernel(period=14)),
+                    KernelSlot(lambda: RetraverseKernel(
+                        sites=256, reorder_prob=0.35)),
+                    KernelSlot(lambda: BranchyKernel(taken_prob=0.85)),
+                ],
+                iterations=10,
+            ),
+            small_loop(
+                [
+                    lambda: SpillFillKernel(gap=1, footprint=1 << 14,
+                                            spread=16),
+                    lambda: ChainKernel(uses=3, offsets=(32, 64, 16),
+                                        footprint=1 << 15, spread=16),
+                    lambda: HashProbeKernel(buckets=192, reorder_prob=0.15),
+                    lambda: CounterKernel(stride=24),
+                ],
+                iterations=30,
+                pad=4,
+            ),
+        ],
+    )

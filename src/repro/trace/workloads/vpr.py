@@ -1,0 +1,78 @@
+"""vpr — FPGA placement and routing.
+
+A middle-of-the-road mix: net bounding-box counters in dense loops,
+routing-resource walks, pointer chasing through the routing graph with
+occasional rip-ups (jumps), and annealing noise.  Sits near the suite
+average for every predictor.
+"""
+
+from __future__ import annotations
+
+from ..kernels import (
+    HashProbeKernel,
+    ArrayWalkKernel,
+    BranchyKernel,
+    ChainKernel,
+    CounterClusterKernel,
+    CounterKernel,
+    PeriodicKernel,
+    PointerChaseKernel,
+    RandomKernel,
+)
+from ..synthetic import KernelSlot, WorkloadSpec
+from .common import loop, small_loop, tiny
+
+
+def spec() -> WorkloadSpec:
+    """Build the vpr-like workload."""
+    return WorkloadSpec(
+        name="vpr",
+        seed=0xF9A,
+        description="routing-graph walks with rip-ups; average mix",
+        groups=[
+            small_loop(
+                [
+                    lambda: CounterClusterKernel(count=3, stride=12),
+                    lambda: ArrayWalkKernel(elem_stride=12,
+                                            value_mode="stride",
+                                            footprint=1 << 16),
+                    lambda: CounterKernel(stride=12),
+                    lambda: PeriodicKernel(period=36),
+                    lambda: BranchyKernel(taken_prob=0.76),
+                ],
+                iterations=58,
+            ),
+            loop(
+                [
+                    KernelSlot(lambda: CounterClusterKernel(count=3, stride=12),
+                               repeat=2),
+                    KernelSlot(lambda: ArrayWalkKernel(
+                        elem_stride=12, value_mode="stride",
+                        footprint=1 << 16), repeat=2),
+                    KernelSlot(lambda: PeriodicKernel(period=12)),
+                    KernelSlot(lambda: PeriodicKernel(period=14)),
+                    KernelSlot(lambda: RandomKernel(span=1 << 27)),
+                    KernelSlot(lambda: BranchyKernel(taken_prob=0.75)),
+                ],
+                iterations=9,
+            ),
+            small_loop(
+                [
+                    lambda: ChainKernel(uses=3, offsets=(12, 24, 36),
+                                        footprint=1 << 16, spread=16),
+                    lambda: HashProbeKernel(buckets=96, reorder_prob=0.25),
+                    lambda: RandomKernel(span=1 << 27),
+                ],
+                iterations=32,
+                pad=4,
+            ),
+            tiny(lambda: PointerChaseKernel(
+                node_stride=64,
+                field_offset=24,
+                payload_delta=32,
+                fields=2,
+                jump_prob=0.2,
+                footprint=1 << 20,
+            ), iterations=22, pad=30),
+        ],
+    )

@@ -1,0 +1,57 @@
+"""Fixed-width machine-word arithmetic helpers.
+
+The paper's predictors operate on 32-bit (or 64-bit) register values; all
+difference and sum computations in prediction tables wrap around at the
+machine word width.  Every predictor in this package performs its arithmetic
+through these helpers so that value/stride semantics are consistent and
+hardware-faithful (two's-complement wraparound, not Python bignums).
+"""
+
+from __future__ import annotations
+
+#: Word width, in bits, used throughout the simulation.  The paper targets a
+#: MIPS-like 32/64-bit machine; we standardise on 64-bit words.
+WORD_BITS = 64
+
+#: Bit mask selecting the low :data:`WORD_BITS` bits of an integer.
+WORD_MASK = (1 << WORD_BITS) - 1
+
+#: Half of the value space; used for interpreting words as signed numbers.
+_SIGN_BIT = 1 << (WORD_BITS - 1)
+
+
+def wrap(value: int) -> int:
+    """Reduce *value* to an unsigned machine word (two's complement wrap)."""
+    return value & WORD_MASK
+
+
+def wadd(a: int, b: int) -> int:
+    """Return ``a + b`` with machine-word wraparound."""
+    return (a + b) & WORD_MASK
+
+
+def wsub(a: int, b: int) -> int:
+    """Return ``a - b`` with machine-word wraparound.
+
+    This is the *difference* operator used by stride predictors and by the
+    gDiff prediction table: the result is the unsigned word that, added back
+    to ``b``, reproduces ``a``.
+    """
+    return (a - b) & WORD_MASK
+
+
+def to_signed(word: int) -> int:
+    """Interpret an unsigned machine word as a signed integer.
+
+    Useful for reporting strides in a human-readable way (e.g. a stride of
+    ``-8`` rather than ``2**64 - 8``).
+    """
+    word &= WORD_MASK
+    if word & _SIGN_BIT:
+        return word - (1 << WORD_BITS)
+    return word
+
+
+def from_signed(value: int) -> int:
+    """Encode a (possibly negative) integer as an unsigned machine word."""
+    return value & WORD_MASK

@@ -1,0 +1,140 @@
+"""Tests for the offline analysis tools."""
+
+import random
+
+import pytest
+
+from repro.analysis import (
+    StreamClass,
+    classify_stream,
+    classify_trace,
+    correlation_distance_profile,
+    geometric_mean,
+    global_stride_predictability,
+    harmonic_mean_speedup,
+    mean,
+)
+from repro.trace import ialu
+
+
+class TestClassifyStream:
+    def test_constant(self):
+        assert classify_stream([5] * 20) is StreamClass.CONSTANT
+
+    def test_stride(self):
+        assert classify_stream(list(range(0, 100, 7))) is StreamClass.STRIDE
+
+    def test_negative_stride(self):
+        values = [(1000 - 3 * i) & ((1 << 64) - 1) for i in range(20)]
+        assert classify_stream(values) is StreamClass.STRIDE
+
+    def test_periodic(self):
+        assert classify_stream([1, 9, 4] * 10) is StreamClass.PERIODIC
+
+    def test_random(self):
+        rng = random.Random(0)
+        values = [rng.getrandbits(32) for _ in range(50)]
+        assert classify_stream(values) is StreamClass.RANDOM
+
+    def test_too_short_unknown(self):
+        assert classify_stream([1, 2]) is StreamClass.UNKNOWN
+
+    def test_tolerates_warmup_glitch(self):
+        values = [999] + list(range(0, 60, 3))
+        assert classify_stream(values, tolerance=0.85) is StreamClass.STRIDE
+
+
+class TestClassifyTrace:
+    def test_mix_fractions(self):
+        insns = []
+        for i in range(40):
+            insns.append(ialu(0x10, 1, i))          # stride
+            insns.append(ialu(0x20, 2, 7))          # constant
+        mix = classify_trace(insns)
+        assert mix[StreamClass.STRIDE] == pytest.approx(0.5)
+        assert mix[StreamClass.CONSTANT] == pytest.approx(0.5)
+
+    def test_empty(self):
+        mix = classify_trace([])
+        assert all(v == 0.0 for v in mix.values())
+
+    def test_few_occurrences_unknown(self):
+        insns = [ialu(0x10, 1, i) for i in range(3)]
+        mix = classify_trace(insns, min_occurrences=8)
+        assert mix[StreamClass.UNKNOWN] == pytest.approx(1.0)
+
+
+class TestGlobalStridePredictability:
+    def _correlated_trace(self, n=60):
+        rng = random.Random(2)
+        insns = []
+        for _ in range(n):
+            v = rng.getrandbits(30)
+            insns.append(ialu(0x10, 1, v))
+            insns.append(ialu(0x14, 2, rng.getrandbits(30)))
+            insns.append(ialu(0x18, 3, (v + 8) & ((1 << 64) - 1)))
+        return insns
+
+    def test_detects_correlation_and_distance(self):
+        profile = global_stride_predictability(self._correlated_trace())
+        distance, hit_rate, _ = profile.per_pc[0x18]
+        assert distance == 2
+        assert hit_rate > 0.9
+
+    def test_random_pc_unpredictable(self):
+        profile = global_stride_predictability(self._correlated_trace())
+        _, hit_rate, _ = profile.per_pc[0x14]
+        assert hit_rate < 0.1
+
+    def test_covered_respects_queue_depth(self):
+        profile = global_stride_predictability(self._correlated_trace())
+        assert profile.covered(2) > 0.5
+        assert profile.covered(32) >= profile.covered(2)
+
+    def test_overall_between_zero_and_one(self):
+        profile = global_stride_predictability(self._correlated_trace())
+        assert 0.0 <= profile.overall <= 1.0
+
+    def test_empty_trace(self):
+        profile = global_stride_predictability([])
+        assert profile.overall == 0.0
+        assert profile.covered(8) == 0.0
+
+
+class TestCorrelationDistanceProfile:
+    def test_histogram_of_locked_distances(self):
+        insns = []
+        rng = random.Random(3)
+        for _ in range(40):
+            v = rng.getrandbits(30)
+            insns.append(ialu(0x10, 1, v))
+            insns.append(ialu(0x14, 2, (v + 4) & ((1 << 64) - 1)))
+        hist = correlation_distance_profile(insns, order=8)
+        assert hist.get(1, 0) >= 1
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        assert mean([]) == 0.0
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])
+
+    def test_harmonic_mean_speedup_identity(self):
+        assert harmonic_mean_speedup([0.0, 0.0]) == pytest.approx(0.0)
+
+    def test_harmonic_mean_below_arithmetic(self):
+        speedups = [0.53, 0.02, 0.10]
+        hmean = harmonic_mean_speedup(speedups)
+        assert hmean < mean(speedups)
+        assert hmean > 0
+
+    def test_harmonic_mean_empty(self):
+        assert harmonic_mean_speedup([]) == 0.0
+
+    def test_harmonic_mean_rejects_impossible_slowdown(self):
+        with pytest.raises(ValueError):
+            harmonic_mean_speedup([-1.5])

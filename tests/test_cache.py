@@ -1,0 +1,86 @@
+"""Tests for the set-associative cache model."""
+
+import pytest
+
+from repro.pipeline import Cache, CacheConfig
+
+
+def small_cache(size=1024, ways=2, line=64, penalty=10):
+    return Cache(CacheConfig(size, ways, line, penalty))
+
+
+class TestCache:
+    def test_first_access_misses(self):
+        cache = small_cache()
+        assert cache.access(0x1000) is False
+
+    def test_second_access_hits(self):
+        cache = small_cache()
+        cache.access(0x1000)
+        assert cache.access(0x1000) is True
+
+    def test_same_line_hits(self):
+        cache = small_cache(line=64)
+        cache.access(0x1000)
+        assert cache.access(0x103F) is True
+        assert cache.access(0x1040) is False
+
+    def test_lru_within_set(self):
+        # 1024 B / (2 ways * 64 B) = 8 sets; lines 0, 8, 16 share set 0.
+        cache = small_cache()
+        cache.access(0 * 64)
+        cache.access(8 * 64)
+        cache.access(16 * 64)  # evicts line 0 (the LRU way)
+        assert cache.probe(0 * 64) is False
+        assert cache.probe(8 * 64) is True
+        assert cache.probe(16 * 64) is True
+
+    def test_access_refreshes_lru(self):
+        cache = small_cache()
+        cache.access(0 * 64)
+        cache.access(8 * 64)
+        cache.access(0 * 64)  # refresh
+        cache.access(16 * 64)  # evicts line 8
+        assert cache.access(0 * 64) is True
+        assert cache.access(8 * 64) is False
+
+    def test_probe_does_not_allocate(self):
+        cache = small_cache()
+        assert cache.probe(0x1000) is False
+        assert cache.access(0x1000) is False  # still a miss
+        assert cache.probe(0x1000) is True
+        assert cache.accesses == 1
+
+    def test_miss_rate(self):
+        cache = small_cache()
+        cache.access(0x0)
+        cache.access(0x0)
+        cache.access(0x0)
+        assert cache.miss_rate == pytest.approx(1 / 3)
+
+    def test_working_set_within_capacity_all_hits(self):
+        cache = small_cache(size=4096, ways=4, line=64)
+        lines = [i * 64 for i in range(32)]
+        for addr in lines:
+            cache.access(addr)
+        hits = sum(cache.access(addr) for addr in lines)
+        assert hits == 32
+
+    def test_working_set_beyond_capacity_thrashes(self):
+        cache = small_cache(size=1024, ways=2, line=64)  # 16 lines
+        lines = [i * 64 for i in range(64)]
+        for _ in range(2):
+            for addr in lines:
+                cache.access(addr)
+        assert cache.miss_rate > 0.9
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            CacheConfig(1000, 3, 64, 10)
+
+    def test_clear(self):
+        cache = small_cache()
+        cache.access(0x0)
+        cache.clear()
+        assert cache.access(0x0) is False
+        assert cache.accesses == 1

@@ -1,0 +1,93 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import PIPELINE_SCHEMES, PREDICTORS, build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_args(self):
+        args = build_parser().parse_args(
+            ["run", "fig8", "--length", "5000", "--bench", "mcf"])
+        assert args.experiment == "fig8"
+        assert args.length == 5000
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+
+    def test_rejects_unknown_benchmark(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "soplex"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "mcf" in out and "fig16" in out and "gdiff8" in out
+
+    def test_predict(self, capsys):
+        assert main(["predict", "gzip", "--length", "8000",
+                     "--predictors", "stride,gdiff8"]) == 0
+        out = capsys.readouterr().out
+        assert "stride" in out and "gdiff8" in out and "%" in out
+
+    def test_predict_gated(self, capsys):
+        assert main(["predict", "gzip", "--length", "8000",
+                     "--predictors", "stride", "--gated"]) == 0
+        assert "coverage" in capsys.readouterr().out
+
+    def test_predict_unknown_predictor(self):
+        with pytest.raises(SystemExit):
+            main(["predict", "gzip", "--predictors", "oracle"])
+
+    def test_run_experiment(self, capsys, tmp_path):
+        out_file = tmp_path / "fig8.txt"
+        assert main(["run", "fig8", "--length", "8000",
+                     "--bench", "gzip", "--out", str(out_file)]) == 0
+        assert "fig8" in capsys.readouterr().out
+        assert out_file.read_text().startswith("== fig8")
+
+    def test_run_rejects_bad_bench(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig8", "--bench", "nope"])
+
+    def test_trace_with_save(self, capsys, tmp_path):
+        out_file = tmp_path / "t.trace.gz"
+        assert main(["trace", "gzip", "--length", "2000",
+                     "--out", str(out_file)]) == 0
+        assert out_file.exists()
+        from repro.trace.io import load_trace
+
+        assert len(load_trace(out_file)) == 2000
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "gzip", "--length", "6000"]) == 0
+        assert "IPC" in capsys.readouterr().out
+
+    def test_simulate_with_vp(self, capsys):
+        assert main(["simulate", "gzip", "--length", "6000",
+                     "--vp", "hgvq", "--speculate"]) == 0
+        out = capsys.readouterr().out
+        assert "coverage" in out and "reissues" in out
+
+    def test_simulate_unknown_scheme(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "gzip", "--vp", "oracle"])
+
+
+class TestRegistries:
+    def test_all_predictor_factories_construct(self):
+        for name, factory in PREDICTORS.items():
+            predictor = factory()
+            assert predictor.predict(0x1000) is None or True
+
+    def test_all_scheme_factories_construct(self):
+        for name, factory in PIPELINE_SCHEMES.items():
+            adapter = factory()
+            assert hasattr(adapter, "on_dispatch")

@@ -1,0 +1,122 @@
+"""Tests for the DDISC predictor and the Equation-1 analyses."""
+
+import random
+
+import pytest
+
+from repro.analysis import equation1_ceiling, two_term_predictability
+from repro.predictors import DDISCPredictor, run_ddisc
+from repro.trace import ialu, load
+from repro.wordops import wadd
+
+
+class TestDDISC:
+    def test_functional_redundancy_captured(self):
+        """Same inputs -> same output: the case dataflow context nails."""
+        p = DDISCPredictor()
+        hits = total = 0
+        inputs = [3, 7, 3, 9, 7, 3, 9, 3, 7, 9] * 6
+        for x in inputs:
+            # Producer writes r1 = x; consumer computes r2 = f(r1).
+            p.update_with_sources(0x10, (), 1, x)
+            predicted = p.predict_with_sources(0x14, (1,))
+            actual = x * x + 5
+            total += 1
+            if predicted == actual:
+                hits += 1
+            p.update_with_sources(0x14, (1,), 2, actual)
+        assert hits / total > 0.8  # everything after first sight of each x
+
+    def test_fresh_inputs_defeat_it(self):
+        p = DDISCPredictor()
+        rng = random.Random(0)
+        hits = total = 0
+        for _ in range(60):
+            x = rng.getrandbits(30)
+            p.update_with_sources(0x10, (), 1, x)
+            predicted = p.predict_with_sources(0x14, (1,))
+            total += 1
+            if predicted == wadd(x, 4):
+                hits += 1
+            p.update_with_sources(0x14, (1,), 2, wadd(x, 4))
+        assert hits <= 2
+
+    def test_unknown_source_register_no_prediction(self):
+        p = DDISCPredictor()
+        assert p.predict_with_sources(0x10, (5,)) is None
+
+    def test_runner_counts_value_producers(self):
+        trace = [ialu(0x10, 1, 7), ialu(0x14, 2, 9, srcs=(1,))] * 10
+        stats = run_ddisc(trace)
+        assert stats.attempts == 20
+        assert stats.raw_accuracy > 0.5  # constants repeat contexts
+
+    def test_reset(self):
+        p = DDISCPredictor()
+        p.update_with_sources(0x10, (), 1, 5)
+        p.reset()
+        assert p.predict_with_sources(0x14, (1,)) is None
+
+
+def correlated_trace(n=200, seed=0):
+    """def (noise), filler, use = def + 8 — single-term territory."""
+    rng = random.Random(seed)
+    insns = []
+    for _ in range(n):
+        v = rng.getrandbits(24)
+        insns.append(ialu(0x10, 1, v))
+        insns.append(ialu(0x14, 2, rng.getrandbits(24)))
+        insns.append(ialu(0x18, 3, wadd(v, 8)))
+    return insns
+
+
+def two_term_trace(n=200, seed=0):
+    """use = a + b (sum of two earlier noise values) — needs two terms."""
+    rng = random.Random(seed)
+    insns = []
+    for _ in range(n):
+        a = rng.getrandbits(24)
+        b = rng.getrandbits(24)
+        insns.append(ialu(0x10, 1, a))
+        insns.append(ialu(0x14, 2, b))
+        insns.append(ialu(0x18, 3, wadd(a, b)))
+    return insns
+
+
+class TestTwoTerm:
+    def test_single_term_case_detected_by_both(self):
+        # Exactly the `use` third of the stream is linearly predictable.
+        result = two_term_predictability(correlated_trace())
+        assert result["one_term"] > 0.3
+        assert result["two_term"] >= result["one_term"]
+
+    def test_sum_case_needs_two_terms(self):
+        result = two_term_predictability(two_term_trace())
+        # One-term stride cannot express a + b; the (1, 1) pair can.
+        assert result["gain"] > 0.2
+
+    def test_empty(self):
+        assert two_term_predictability([]) == {
+            "one_term": 0.0, "two_term": 0.0, "gain": 0.0}
+
+
+class TestEquation1Ceiling:
+    def test_fits_linear_structure(self):
+        # The use PC (a third of the stream) fits exactly.
+        result = equation1_ceiling(correlated_trace(400))
+        assert result["fit_accuracy"] > 0.3
+        assert 0 < result["covered"] <= 1
+
+    def test_fits_two_term_structure(self):
+        result = equation1_ceiling(two_term_trace(400))
+        assert result["fit_accuracy"] > 0.3
+
+    def test_random_unfittable(self):
+        rng = random.Random(3)
+        trace = [ialu(0x10, 1, rng.getrandbits(24)) for _ in range(400)]
+        result = equation1_ceiling(trace)
+        assert result["fit_accuracy"] < 0.1
+
+    def test_empty(self):
+        result = equation1_ceiling([])
+        assert result == {"fit_accuracy": 0.0, "covered": 0.0}

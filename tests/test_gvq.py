@@ -1,0 +1,143 @@
+"""Tests for the global value queue structures."""
+
+import pytest
+
+from repro.core import GlobalValueQueue, SlottedValueQueue
+
+
+class TestGlobalValueQueue:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GlobalValueQueue(size=0)
+        with pytest.raises(ValueError):
+            GlobalValueQueue(size=4, delay=-1)
+
+    def test_empty_returns_none(self):
+        q = GlobalValueQueue(size=4)
+        assert q.get(1) is None
+
+    def test_distance_bounds(self):
+        q = GlobalValueQueue(size=4)
+        with pytest.raises(ValueError):
+            q.get(0)
+        with pytest.raises(ValueError):
+            q.get(5)
+
+    def test_distance_one_is_most_recent(self):
+        q = GlobalValueQueue(size=4)
+        q.push(10)
+        q.push(20)
+        assert q.get(1) == 20
+        assert q.get(2) == 10
+
+    def test_old_values_fall_off(self):
+        q = GlobalValueQueue(size=2)
+        for v in (1, 2, 3):
+            q.push(v)
+        assert q.get(1) == 3
+        assert q.get(2) == 2
+
+    def test_visible_window(self):
+        q = GlobalValueQueue(size=3)
+        q.push(1)
+        q.push(2)
+        assert q.visible() == [2, 1, None]
+
+    def test_total_pushed(self):
+        q = GlobalValueQueue(size=2)
+        for v in range(5):
+            q.push(v)
+        assert q.total_pushed == 5
+
+    def test_delay_hides_recent(self):
+        q = GlobalValueQueue(size=3, delay=2)
+        for v in (1, 2, 3, 4, 5):
+            q.push(v)
+        # The two most recent (4, 5) are invisible.
+        assert q.get(1) == 3
+        assert q.get(2) == 2
+        assert q.get(3) == 1
+
+    def test_delay_zero_equals_no_delay(self):
+        a = GlobalValueQueue(size=4, delay=0)
+        b = GlobalValueQueue(size=4)
+        for v in (9, 8, 7):
+            a.push(v)
+            b.push(v)
+        assert a.visible() == b.visible()
+
+    def test_delay_with_shallow_history(self):
+        q = GlobalValueQueue(size=4, delay=3)
+        q.push(1)
+        q.push(2)
+        assert q.get(1) is None  # nothing visible yet
+
+    def test_clear(self):
+        q = GlobalValueQueue(size=4)
+        q.push(1)
+        q.clear()
+        assert q.get(1) is None
+        assert q.total_pushed == 0
+
+
+class TestSlottedValueQueue:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlottedValueQueue(size=0)
+        with pytest.raises(ValueError):
+            SlottedValueQueue(size=8, capacity=8)
+
+    def test_allocate_returns_sequence(self):
+        q = SlottedValueQueue(size=4, capacity=16)
+        assert q.allocate(10) == 0
+        assert q.allocate(20) == 1
+
+    def test_get_reads_fillers(self):
+        q = SlottedValueQueue(size=4, capacity=16)
+        q.allocate(10)
+        seq = q.allocate(20)
+        # From the perspective of a hypothetical next slot:
+        nxt = q.allocate(30)
+        assert q.get(nxt, 1) == 20
+        assert q.get(nxt, 2) == 10
+
+    def test_deposit_overwrites_in_place(self):
+        q = SlottedValueQueue(size=4, capacity=16)
+        s0 = q.allocate(10)
+        s1 = q.allocate(0)
+        assert q.deposit(s0, 99)
+        assert q.get(s1, 1) == 99
+
+    def test_deposit_out_of_range_rejected(self):
+        q = SlottedValueQueue(size=2, capacity=4)
+        s0 = q.allocate(1)
+        for _ in range(6):
+            q.allocate(0)
+        assert not q.deposit(s0, 5)  # slot recycled
+        assert not q.deposit(999, 5)  # never allocated
+
+    def test_get_before_history(self):
+        q = SlottedValueQueue(size=4, capacity=16)
+        s0 = q.allocate(1)
+        assert q.get(s0, 1) is None
+
+    def test_window(self):
+        q = SlottedValueQueue(size=3, capacity=16)
+        q.allocate(1)
+        q.allocate(2)
+        s = q.allocate(3)
+        assert q.window(s) == [2, 1, None]
+
+    def test_distance_bounds(self):
+        q = SlottedValueQueue(size=2, capacity=8)
+        s = q.allocate(1)
+        with pytest.raises(ValueError):
+            q.get(s, 0)
+        with pytest.raises(ValueError):
+            q.get(s, 3)
+
+    def test_clear(self):
+        q = SlottedValueQueue(size=2, capacity=8)
+        q.allocate(1)
+        q.clear()
+        assert q.total_allocated == 0

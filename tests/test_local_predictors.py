@@ -1,0 +1,195 @@
+"""Tests for the local baseline predictors (last-value, last-N, stride,
+FCM, DFCM)."""
+
+import pytest
+
+from repro.predictors import (
+    DFCMPredictor,
+    FCMPredictor,
+    LastNValuePredictor,
+    LastValuePredictor,
+    StridePredictor,
+)
+from repro.wordops import WORD_MASK
+
+
+def train(predictor, pc, values):
+    """Feed a value sequence; return predictions made before each update."""
+    predictions = []
+    for value in values:
+        predictions.append(predictor.predict(pc))
+        predictor.update(pc, value)
+    return predictions
+
+
+class TestLastValue:
+    def test_no_prediction_cold(self):
+        assert LastValuePredictor().predict(0x100) is None
+
+    def test_predicts_last(self):
+        p = LastValuePredictor()
+        preds = train(p, 0x100, [5, 5, 5])
+        assert preds == [None, 5, 5]
+
+    def test_tracks_changes(self):
+        p = LastValuePredictor()
+        preds = train(p, 0x100, [1, 2, 3])
+        assert preds == [None, 1, 2]
+
+    def test_per_pc(self):
+        p = LastValuePredictor()
+        p.update(0x100, 1)
+        p.update(0x200, 2)
+        assert p.predict(0x100) == 1
+        assert p.predict(0x200) == 2
+
+    def test_reset(self):
+        p = LastValuePredictor()
+        p.update(0x100, 1)
+        p.reset()
+        assert p.predict(0x100) is None
+
+
+class TestLastN:
+    def test_validates_n(self):
+        with pytest.raises(ValueError):
+            LastNValuePredictor(n=0)
+
+    def test_predicts_recent_confirmed(self):
+        p = LastNValuePredictor(n=4)
+        preds = train(p, 0x100, [1, 2, 1, 2, 1])
+        # After seeing 1,2 alternating, prediction is the last value seen.
+        assert preds[2] == 2
+        assert preds[3] == 1
+
+    def test_keeps_only_n(self):
+        p = LastNValuePredictor(n=2)
+        for v in (1, 2, 3):
+            p.update(0x0, v)
+        entry = p._table.lookup(0x0)
+        assert len(entry.values) == 2
+        assert 1 not in entry.values
+
+    def test_repeat_moves_to_front(self):
+        p = LastNValuePredictor(n=3)
+        for v in (1, 2, 3, 1):
+            p.update(0x0, v)
+        assert p.predict(0x0) == 1
+
+
+class TestStride:
+    def test_constant_sequence(self):
+        p = StridePredictor()
+        preds = train(p, 0x100, [7, 7, 7, 7])
+        assert preds[2:] == [7, 7]
+
+    def test_arithmetic_sequence(self):
+        p = StridePredictor()
+        preds = train(p, 0x100, [10, 14, 18, 22, 26])
+        # Two-delta: stride committed after the delta repeats.
+        assert preds[3] == 22
+        assert preds[4] == 26
+
+    def test_two_delta_ignores_one_off_glitch(self):
+        p = StridePredictor()
+        # Stable stride 4, one glitch, then stride 4 resumes.
+        values = [0, 4, 8, 100, 104, 108]
+        preds = train(p, 0x100, values)
+        # After the glitch, stride 4 is still committed: 100 + 4 = 104.
+        assert preds[4] == 104
+        assert preds[5] == 108
+
+    def test_single_delta_variant_tracks_immediately(self):
+        p = StridePredictor(two_delta=False)
+        preds = train(p, 0x100, [0, 4, 8])
+        assert preds[2] == 8
+
+    def test_negative_stride_wraps(self):
+        p = StridePredictor()
+        preds = train(p, 0x100, [100, 92, 84, 76])
+        assert preds[3] == 76
+
+    def test_random_sequence_mostly_wrong(self):
+        import random
+
+        rng = random.Random(0)
+        p = StridePredictor()
+        values = [rng.getrandbits(32) for _ in range(200)]
+        preds = train(p, 0x100, values)
+        correct = sum(1 for pr, v in zip(preds, values) if pr == v)
+        assert correct <= 2
+
+    def test_aliasing_in_small_table(self):
+        p = StridePredictor(entries=4)
+        train(p, 0x0, [0, 1, 2, 3])
+        # 0x40 aliases with 0x0: inherits (and corrupts) the entry.
+        assert p.predict(0x40) is not None
+
+
+class TestFCM:
+    def test_learns_periodic_sequence(self):
+        p = FCMPredictor(order=4)
+        pattern = [3, 1, 4, 1, 5, 9, 2, 6]
+        preds = train(p, 0x100, pattern * 6)
+        # Final repetition should be fully predicted.
+        tail_preds = preds[-len(pattern):]
+        tail_actual = (pattern * 6)[-len(pattern):]
+        assert tail_preds == tail_actual
+
+    def test_cold_no_prediction(self):
+        p = FCMPredictor(order=4)
+        assert p.predict(0x100) is None
+        p.update(0x100, 1)
+        assert p.predict(0x100) is None
+
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            FCMPredictor(order=0)
+
+    def test_pc_salt_prevents_cross_pc_leak(self):
+        # Two PCs producing identical histories train separate L2 entries;
+        # PC B sees no benefit from A's training within one step.
+        p = FCMPredictor(order=2)
+        for v in (1, 2, 3):
+            p.update(0xA0, v)
+        # The L2 indices must differ for identical contexts on
+        # different PCs, so B cannot read the entry A trained.
+        from repro.predictors.fcm import fold_context
+
+        assert fold_context([1, 2], 65536, salt=0xA0) != fold_context(
+            [1, 2], 65536, salt=0xB0
+        )
+
+
+class TestDFCM:
+    def test_learns_stride_pattern(self):
+        p = DFCMPredictor(order=2)
+        preds = train(p, 0x100, [0, 5, 10, 15, 20, 25])
+        assert preds[-1] == 25
+
+    def test_learns_periodic_strides(self):
+        # Period-3 value pattern => period-3 stride pattern.
+        p = DFCMPredictor(order=4)
+        pattern = [10, 12, 17]
+        preds = train(p, 0x100, pattern * 8)
+        tail_preds = preds[-3:]
+        assert tail_preds == pattern[-3:] or tail_preds == [17, 10, 12]
+
+    def test_predicts_periodic_that_stride_cannot(self):
+        pattern = [100, 7, 42, 9]
+        sequence = pattern * 10
+        dfcm_preds = train(DFCMPredictor(order=4), 0x1, sequence)
+        stride_preds = train(StridePredictor(), 0x1, sequence)
+        dfcm_hits = sum(1 for p, v in zip(dfcm_preds, sequence) if p == v)
+        stride_hits = sum(1 for p, v in zip(stride_preds, sequence) if p == v)
+        assert dfcm_hits > stride_hits
+
+    def test_cold_start(self):
+        p = DFCMPredictor(order=4)
+        assert p.predict(0x0) is None
+
+    def test_reset(self):
+        p = DFCMPredictor(order=2)
+        train(p, 0x0, [0, 5, 10, 15])
+        p.reset()
+        assert p.predict(0x0) is None

@@ -1,0 +1,66 @@
+"""Tests for the first-order Markov address predictor."""
+
+import pytest
+
+from repro.predictors import MarkovPredictor
+
+
+class TestMarkov:
+    def test_cold_no_prediction(self):
+        p = MarkovPredictor(entries=64, ways=4)
+        assert p.predict(0) is None
+        value, confident = p.predict_confident(0)
+        assert value is None and not confident
+
+    def test_learns_transition(self):
+        p = MarkovPredictor(entries=64, ways=4)
+        p.update(0, 100)
+        p.update(0, 200)  # transition 100 -> 200
+        p.update(0, 100)  # transition 200 -> 100
+        # Now prev == 100; 100 -> 200 is known.
+        assert p.predict(0) == 200
+
+    def test_repeating_walk_fully_predicted(self):
+        p = MarkovPredictor(entries=256, ways=4)
+        walk = [10, 20, 30, 40]
+        hits = 0
+        for _ in range(5):
+            for addr in walk:
+                if p.predict(0) == addr:
+                    hits += 1
+                p.update(0, addr)
+        assert hits >= 12  # everything after the first lap
+
+    def test_confidence_is_tag_match(self):
+        p = MarkovPredictor(entries=64, ways=4)
+        p.update(0, 1)
+        p.update(0, 2)
+        p.update(0, 1)
+        value, confident = p.predict_confident(0)
+        assert confident and value == 2
+
+    def test_changed_successor_mispredicts_then_relearns(self):
+        p = MarkovPredictor(entries=64, ways=4)
+        for addr in (1, 2, 1, 2, 1):
+            p.update(0, addr)
+        # 1 -> 2 learned; change the successor of 1 to 3.
+        assert p.predict(0) == 2
+        p.update(0, 3)
+        p.update(0, 1)
+        assert p.predict(0) == 3
+
+    def test_capacity_eviction(self):
+        p = MarkovPredictor(entries=4, ways=2)
+        # Stream many distinct transitions to overflow the table.
+        for addr in range(100):
+            p.update(0, addr)
+        # Old transitions evicted.
+        p.update(0, 0)
+        assert p.predict(0) in (1, None)
+
+    def test_reset(self):
+        p = MarkovPredictor(entries=64, ways=4)
+        p.update(0, 1)
+        p.update(0, 2)
+        p.reset()
+        assert p.predict(0) is None

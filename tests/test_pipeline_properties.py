@@ -1,0 +1,91 @@
+"""Property-based tests for the OOO core's end-to-end invariants."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.pipeline import (
+    HGVQAdapter,
+    LocalPredictorAdapter,
+    OutOfOrderCore,
+    ProcessorConfig,
+)
+from repro.predictors import StridePredictor
+from repro.trace import Instruction, OpClass, branch, ialu, load, store
+
+# A compact strategy for random but well-formed instruction streams.
+_regs = st.integers(min_value=1, max_value=12)
+_vals = st.integers(min_value=0, max_value=1 << 20)
+
+
+@st.composite
+def random_stream(draw, max_len=120):
+    n = draw(st.integers(min_value=1, max_value=max_len))
+    insns = []
+    for i in range(n):
+        kind = draw(st.integers(min_value=0, max_value=9))
+        pc = 0x1000 + (i % 24) * 4
+        if kind < 5:
+            insns.append(ialu(pc, draw(_regs), draw(_vals),
+                              srcs=tuple(draw(st.lists(_regs, max_size=2)))))
+        elif kind < 7:
+            insns.append(load(pc, draw(_regs), draw(_vals),
+                              0x100000 + draw(_vals),
+                              srcs=tuple(draw(st.lists(_regs, max_size=1)))))
+        elif kind < 8:
+            insns.append(store(pc, 0x200000 + draw(_vals),
+                               srcs=(draw(_regs),)))
+        elif kind < 9:
+            insns.append(branch(pc, draw(st.booleans()), 0x1000))
+        else:
+            insns.append(Instruction(pc=pc, op=OpClass.NOP))
+    return insns
+
+
+class TestCoreInvariants:
+    @given(random_stream())
+    @settings(max_examples=40, deadline=None)
+    def test_everything_retires_exactly_once(self, stream):
+        result = OutOfOrderCore().run(list(stream))
+        assert result.retired == len(stream)
+
+    @given(random_stream())
+    @settings(max_examples=25, deadline=None)
+    def test_ipc_within_machine_width(self, stream):
+        core = OutOfOrderCore()
+        result = core.run(list(stream))
+        assert 0 < result.ipc <= core.config.width + 1e-9
+
+    @given(random_stream())
+    @settings(max_examples=25, deadline=None)
+    def test_passive_predictor_never_changes_timing(self, stream):
+        baseline = OutOfOrderCore().run(list(stream))
+        adapter = LocalPredictorAdapter(StridePredictor())
+        observed = OutOfOrderCore(value_predictor=adapter,
+                                  speculate=False).run(list(stream))
+        assert observed.cycles == baseline.cycles
+        assert observed.retired == baseline.retired
+
+    @given(random_stream())
+    @settings(max_examples=25, deadline=None)
+    def test_speculation_preserves_retirement(self, stream):
+        adapter = HGVQAdapter(order=8)
+        result = OutOfOrderCore(value_predictor=adapter,
+                                speculate=True).run(list(stream))
+        assert result.retired == len(stream)
+
+    @given(random_stream(), st.integers(min_value=8, max_value=64))
+    @settings(max_examples=20, deadline=None)
+    def test_value_delay_histogram_complete(self, stream, rob):
+        core = OutOfOrderCore(config=ProcessorConfig(rob_entries=rob),
+                              track_value_delay=True)
+        result = core.run(list(stream))
+        vp_count = sum(1 for i in stream if i.produces_value)
+        assert sum(result.value_delay_histogram.values()) == vp_count
+
+    @given(random_stream())
+    @settings(max_examples=20, deadline=None)
+    def test_adapter_attempts_match_value_producers(self, stream):
+        adapter = LocalPredictorAdapter(StridePredictor())
+        OutOfOrderCore(value_predictor=adapter).run(list(stream))
+        vp_count = sum(1 for i in stream if i.produces_value)
+        assert adapter.stats.attempts == vp_count

@@ -1,0 +1,163 @@
+"""Tests for accuracy/coverage accounting and the confidence mechanism."""
+
+import pytest
+
+from repro.predictors import ConfidenceTable, ConstantPredictor, GatedPredictor
+from repro.predictors.base import PredictionStats
+
+
+class TestPredictionStats:
+    def test_empty(self):
+        stats = PredictionStats()
+        assert stats.raw_accuracy == 0.0
+        assert stats.accuracy == 0.0
+        assert stats.coverage == 0.0
+
+    def test_record_correct(self):
+        stats = PredictionStats()
+        assert stats.record(5, 5) is True
+        assert stats.correct == 1
+        assert stats.raw_accuracy == 1.0
+
+    def test_record_incorrect(self):
+        stats = PredictionStats()
+        assert stats.record(5, 6) is False
+        assert stats.raw_accuracy == 0.0
+
+    def test_none_prediction_counts_attempt_only(self):
+        stats = PredictionStats()
+        stats.record(None, 5)
+        assert stats.attempts == 1
+        assert stats.predictions == 0
+
+    def test_raw_accuracy_over_all_attempts(self):
+        stats = PredictionStats()
+        stats.record(None, 1)
+        stats.record(1, 1)
+        assert stats.raw_accuracy == pytest.approx(0.5)
+
+    def test_gated_accuracy_and_coverage(self):
+        stats = PredictionStats()
+        stats.record(1, 1, confident=True)
+        stats.record(2, 3, confident=True)
+        stats.record(4, 4, confident=False)
+        stats.record(None, 5)
+        assert stats.coverage == pytest.approx(2 / 4)
+        assert stats.accuracy == pytest.approx(1 / 2)
+
+    def test_merge(self):
+        a, b = PredictionStats(), PredictionStats()
+        a.record(1, 1, confident=True)
+        b.record(2, 2, confident=True)
+        a.merge(b)
+        assert a.attempts == 2
+        assert a.confident_correct == 2
+
+    def test_as_dict_keys(self):
+        stats = PredictionStats()
+        stats.record(1, 1)
+        d = stats.as_dict()
+        assert d["correct"] == 1
+        assert "raw_accuracy" in d and "coverage" in d
+
+    def test_str_renders(self):
+        stats = PredictionStats()
+        stats.record(1, 1, confident=True)
+        assert "acc" in str(stats)
+
+
+class TestConfidenceTable:
+    def test_starts_unconfident(self):
+        conf = ConfidenceTable()
+        assert not conf.is_confident(0x100)
+        assert conf.value(0x100) == 0
+
+    def test_paper_policy_two_corrects_confident(self):
+        # +2 per correct, threshold 4: two corrects reach confidence.
+        conf = ConfidenceTable()
+        conf.train(0x100, True)
+        assert not conf.is_confident(0x100)
+        conf.train(0x100, True)
+        assert conf.is_confident(0x100)
+
+    def test_decrement_on_incorrect(self):
+        conf = ConfidenceTable()
+        for _ in range(4):
+            conf.train(0x100, True)
+        assert conf.value(0x100) == 7  # saturated at 3 bits
+        conf.train(0x100, False)
+        assert conf.value(0x100) == 6
+        assert conf.is_confident(0x100)
+
+    def test_saturates_at_zero(self):
+        conf = ConfidenceTable()
+        conf.train(0x100, False)
+        assert conf.value(0x100) == 0
+
+    def test_saturates_at_max(self):
+        conf = ConfidenceTable(bits=3)
+        for _ in range(10):
+            conf.train(0x100, True)
+        assert conf.value(0x100) == 7
+
+    def test_per_pc_isolation(self):
+        conf = ConfidenceTable()
+        conf.train(0x100, True)
+        conf.train(0x100, True)
+        assert conf.is_confident(0x100)
+        assert not conf.is_confident(0x200)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            ConfidenceTable(bits=3, threshold=9)
+        with pytest.raises(ValueError):
+            ConfidenceTable(bits=0)
+
+    def test_custom_policy(self):
+        conf = ConfidenceTable(bits=2, up=1, down=2, threshold=2)
+        conf.train(0x0, True)
+        assert not conf.is_confident(0x0)
+        conf.train(0x0, True)
+        assert conf.is_confident(0x0)
+
+    def test_reset(self):
+        conf = ConfidenceTable()
+        conf.train(0x100, True)
+        conf.reset()
+        assert conf.value(0x100) == 0
+
+
+class TestGatedPredictor:
+    def test_gates_until_confident(self):
+        gated = GatedPredictor(ConstantPredictor(7))
+        # First two predictions unconfident (counter below threshold).
+        assert gated.predict(0x100) is None
+        gated.update(0x100, 7)
+        assert gated.predict(0x100) is None
+        gated.update(0x100, 7)
+        # Counter now 4 -> confident.
+        assert gated.predict(0x100) == 7
+        gated.update(0x100, 7)
+
+    def test_stats_accumulate(self):
+        gated = GatedPredictor(ConstantPredictor(7))
+        for _ in range(5):
+            gated.predict(0x100)
+            gated.update(0x100, 7)
+        assert gated.stats.attempts == 5
+        assert gated.stats.accuracy == 1.0
+        assert 0 < gated.stats.coverage < 1
+
+    def test_predict_confident_tuple(self):
+        gated = GatedPredictor(ConstantPredictor(3))
+        value, confident = gated.predict_confident(0x10)
+        assert value == 3
+        assert confident is False
+        gated.update(0x10, 3)
+
+    def test_reset(self):
+        gated = GatedPredictor(ConstantPredictor(1))
+        gated.predict(0x0)
+        gated.update(0x0, 1)
+        gated.reset()
+        assert gated.stats.attempts == 0

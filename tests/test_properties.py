@@ -1,0 +1,147 @@
+"""Property-based tests (hypothesis) for the core data structures."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core import GDiffPredictor, GlobalValueQueue, SlottedValueQueue
+from repro.pipeline import Cache, CacheConfig
+from repro.predictors import ConfidenceTable, StridePredictor
+from repro.wordops import WORD_MASK, from_signed, to_signed, wadd, wsub
+
+words = st.integers(min_value=0, max_value=WORD_MASK)
+small_words = st.integers(min_value=0, max_value=1 << 20)
+
+
+class TestWordopsProperties:
+    @given(words, words)
+    def test_sub_add_roundtrip(self, a, b):
+        assert wadd(b, wsub(a, b)) == a
+
+    @given(words, words)
+    def test_add_commutes(self, a, b):
+        assert wadd(a, b) == wadd(b, a)
+
+    @given(words)
+    def test_zero_identity(self, a):
+        assert wadd(a, 0) == a
+        assert wsub(a, 0) == a
+
+    @given(st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1))
+    def test_signed_roundtrip(self, v):
+        assert to_signed(from_signed(v)) == v
+
+    @given(words, words, words)
+    def test_add_associates(self, a, b, c):
+        assert wadd(wadd(a, b), c) == wadd(a, wadd(b, c))
+
+
+class TestQueueProperties:
+    @given(st.lists(words, min_size=1, max_size=50),
+           st.integers(min_value=1, max_value=16))
+    def test_gvq_distance_one_is_last_push(self, values, size):
+        q = GlobalValueQueue(size=size)
+        for v in values:
+            q.push(v)
+        assert q.get(1) == values[-1]
+
+    @given(st.lists(words, min_size=5, max_size=60),
+           st.integers(min_value=1, max_value=8),
+           st.integers(min_value=0, max_value=6))
+    def test_gvq_matches_list_semantics(self, values, size, delay):
+        q = GlobalValueQueue(size=size, delay=delay)
+        for v in values:
+            q.push(v)
+        for distance in range(1, size + 1):
+            index = len(values) - delay - distance
+            expected = values[index] if index >= 0 else None
+            assert q.get(distance) == expected
+
+    @given(st.lists(words, min_size=1, max_size=40))
+    def test_slotted_deposit_then_read(self, values):
+        q = SlottedValueQueue(size=8, capacity=128)
+        seqs = [q.allocate(0) for _ in values]
+        for seq, v in zip(seqs, values):
+            assert q.deposit(seq, v)
+        probe = q.allocate(0)
+        for distance in range(1, min(8, len(values)) + 1):
+            assert q.get(probe, distance) == values[-distance]
+
+
+class TestConfidenceProperties:
+    @given(st.lists(st.booleans(), max_size=200))
+    def test_counter_stays_in_range(self, outcomes):
+        conf = ConfidenceTable(bits=3)
+        for outcome in outcomes:
+            conf.train(0x10, outcome)
+            assert 0 <= conf.value(0x10) <= 7
+
+    @given(st.lists(st.booleans(), max_size=100))
+    def test_all_wrong_never_confident(self, outcomes):
+        conf = ConfidenceTable()
+        for _ in outcomes:
+            conf.train(0x10, False)
+        assert not conf.is_confident(0x10)
+
+
+class TestPredictorProperties:
+    @given(st.integers(min_value=0, max_value=1 << 30),
+           st.integers(min_value=1, max_value=1 << 16),
+           st.integers(min_value=8, max_value=40))
+    def test_stride_predictor_perfect_on_arithmetic(self, start, stride, n):
+        p = StridePredictor(entries=None)
+        correct = 0
+        for i in range(n):
+            v = wadd(start, stride * i)
+            if p.predict(0x10) == v:
+                correct += 1
+            p.update(0x10, v)
+        assert correct >= n - 3  # two-delta warmup only
+
+    @given(st.integers(min_value=0, max_value=1 << 30),
+           st.integers(min_value=0, max_value=1 << 16),
+           st.integers(min_value=1, max_value=6))
+    @settings(max_examples=30)
+    def test_gdiff_locks_any_fixed_offset_pair(self, seed, offset, gap):
+        """For any producer/consumer pair at a fixed queue distance with a
+        fixed offset, gDiff converges to perfect prediction."""
+        import random
+
+        rng = random.Random(seed)
+        g = GDiffPredictor(order=8)
+        last_predictions = []
+        for i in range(12):
+            v = rng.getrandbits(28)
+            g.update(0xA, v)
+            for k in range(gap - 1):
+                g.update(0xB0 + 4 * k, rng.getrandbits(28))
+            last_predictions.append(g.predict(0xC) == wadd(v, offset))
+            g.update(0xC, wadd(v, offset))
+        assert all(last_predictions[3:])
+
+    @given(st.lists(words, min_size=3, max_size=40))
+    @settings(max_examples=50)
+    def test_gdiff_update_never_crashes_and_prediction_is_word(self, values):
+        g = GDiffPredictor(order=4)
+        for v in values:
+            p = g.predict(0x10)
+            assert p is None or 0 <= p <= WORD_MASK
+            g.update(0x10, v)
+
+
+class TestCacheProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 16),
+                    min_size=1, max_size=200))
+    def test_repeat_access_hits(self, addrs):
+        cache = Cache(CacheConfig(4096, 4, 64, 10))
+        for addr in addrs:
+            cache.access(addr)
+        # Immediately re-accessing the final address must hit.
+        assert cache.access(addrs[-1]) is True
+
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 20),
+                    max_size=100))
+    def test_miss_count_never_exceeds_accesses(self, addrs):
+        cache = Cache(CacheConfig(1024, 2, 64, 10))
+        for addr in addrs:
+            cache.access(addr)
+        assert 0 <= cache.misses <= cache.accesses == len(addrs)

@@ -1,0 +1,189 @@
+"""Tests for the related-work predictors the paper positions gDiff
+against: PI (order-1 global context), global FCM (higher-order global
+context), and the hybrid local predictor."""
+
+import random
+
+import pytest
+
+from repro.core import GDiffPredictor
+from repro.harness import run_value_prediction
+from repro.predictors import (
+    GlobalFCMPredictor,
+    HybridLocalPredictor,
+    PIPredictor,
+    StridePredictor,
+)
+from repro.trace import ialu
+from repro.wordops import wadd
+
+
+def feed(predictor, stream):
+    """stream: (pc, value) pairs; returns per-pc hit counts."""
+    hits = {}
+    totals = {}
+    for pc, value in stream:
+        prediction = predictor.predict(pc)
+        totals[pc] = totals.get(pc, 0) + 1
+        if prediction == value:
+            hits[pc] = hits.get(pc, 0) + 1
+        predictor.update(pc, value)
+    return {pc: hits.get(pc, 0) / totals[pc] for pc in totals}
+
+
+def adjacent_pair_stream(n=60, offset=5, seed=0):
+    """Producer at 0xA, consumer at 0xB immediately after (distance 1)."""
+    rng = random.Random(seed)
+    stream = []
+    for _ in range(n):
+        v = rng.getrandbits(28)
+        stream.append((0xA, v))
+        stream.append((0xB, wadd(v, offset)))
+    return stream
+
+
+def distant_pair_stream(n=60, offset=5, gap=3, seed=0):
+    """Producer/consumer separated by *gap* uncorrelated values."""
+    rng = random.Random(seed)
+    stream = []
+    for _ in range(n):
+        v = rng.getrandbits(28)
+        stream.append((0xA, v))
+        for k in range(gap):
+            stream.append((0xC0 + 4 * k, rng.getrandbits(28)))
+        stream.append((0xB, wadd(v, offset)))
+    return stream
+
+
+class TestPIPredictor:
+    def test_catches_adjacent_correlation(self):
+        rates = feed(PIPredictor(entries=None), adjacent_pair_stream())
+        assert rates[0xB] > 0.9
+        assert rates[0xA] < 0.1
+
+    def test_misses_distant_correlation(self):
+        rates = feed(PIPredictor(entries=None), distant_pair_stream())
+        assert rates[0xB] < 0.1
+
+    def test_is_order_one_gdiff(self):
+        """PI and gDiff(order=1) agree on the adjacent-pair stream."""
+        stream = adjacent_pair_stream()
+        pi_rates = feed(PIPredictor(entries=None), stream)
+        g1_rates = feed(GDiffPredictor(order=1, entries=None), stream)
+        assert abs(pi_rates[0xB] - g1_rates[0xB]) < 0.05
+
+    def test_gdiff_generalises_pi(self):
+        """gDiff(order=8) catches what PI misses at distance 4."""
+        stream = distant_pair_stream()
+        pi_rates = feed(PIPredictor(entries=None), stream)
+        g_rates = feed(GDiffPredictor(order=8, entries=None), stream)
+        assert g_rates[0xB] > pi_rates[0xB] + 0.8
+
+    def test_cold_start(self):
+        assert PIPredictor().predict(0x10) is None
+
+    def test_observe_advances_history(self):
+        p = PIPredictor(entries=None)
+        p.update(0xB, 10)
+        p.update(0xB, 10)
+        p.update(0xB, 10)  # diff 0 now confirmed
+        p.observe(42)
+        # Confirmed diff is 0, so the prediction tracks the observed value.
+        assert p.predict(0xB) == 42
+
+    def test_reset(self):
+        p = PIPredictor()
+        p.update(0x1, 5)
+        p.reset()
+        assert p.predict(0x1) is None
+
+
+class TestGlobalFCM:
+    def test_learns_repeating_global_interleaving(self):
+        # A fixed repeating global pattern: context identifies position.
+        pattern = [(0xA, 3), (0xB, 1), (0xC, 4), (0xD, 1), (0xE, 5)]
+        stream = pattern * 12
+        rates = feed(GlobalFCMPredictor(order=4), stream)
+        assert min(rates.values()) > 0.8
+
+    def test_noise_in_window_breaks_context(self):
+        rng = random.Random(1)
+        stream = []
+        for _ in range(50):
+            stream.append((0xA, rng.getrandbits(24)))  # noise
+            stream.append((0xB, 7))  # constant value...
+        rates = feed(GlobalFCMPredictor(order=4), stream)
+        # ...but the global context always contains fresh noise.
+        assert rates[0xB] < 0.1
+
+    def test_stride_relation_not_captured(self):
+        # Stride through noise is the computational case gFCM cannot do.
+        rates = feed(GlobalFCMPredictor(order=2), adjacent_pair_stream())
+        assert rates[0xB] < 0.1
+
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            GlobalFCMPredictor(order=0)
+
+    def test_reset(self):
+        p = GlobalFCMPredictor(order=2)
+        p.update(0x1, 5)
+        p.reset()
+        assert p.predict(0x1) is None
+
+
+class TestHybridLocal:
+    def test_beats_both_components_on_mixed_stream(self):
+        # PC 0x1: arithmetic (stride territory); PC 0x2: periodic
+        # (context territory).
+        stream = []
+        pattern = [9, 2, 7]
+        for i in range(80):
+            stream.append((0x1, i * 4))
+            stream.append((0x2, pattern[i % 3]))
+        hybrid = feed(HybridLocalPredictor(entries=None), list(stream))
+        stride = feed(StridePredictor(entries=None), list(stream))
+        assert hybrid[0x1] > 0.9
+        assert hybrid[0x2] > 0.8
+        assert stride[0x2] < 0.2
+
+    def test_chooser_switches_per_pc(self):
+        p = HybridLocalPredictor(entries=None)
+        pattern = [9, 2, 7]
+        for i in range(60):
+            p.update(0x2, pattern[i % 3])
+        assert p._counter(0x2) >= 2  # context-favouring
+        for i in range(60):
+            p.update(0x1, i * 8)
+        assert p._counter(0x1) <= 1  # stride is never wrong; stays put
+
+    def test_falls_back_when_chosen_component_cold(self):
+        p = HybridLocalPredictor(entries=None)
+        p.update(0x1, 0)
+        p.update(0x1, 4)
+        p.update(0x1, 8)
+        # DFCM (order 4) still cold; stride prediction must come through.
+        assert p.predict(0x1) == 12
+
+    def test_reset(self):
+        p = HybridLocalPredictor()
+        for i in range(5):
+            p.update(0x1, i)
+        p.reset()
+        assert p.predict(0x1) is None
+
+
+class TestSuiteComparison:
+    def test_gdiff_beats_global_baselines_on_parser(self):
+        """The paper's positioning: gDiff's computational global model
+        beats both the order-1 (PI) and context (gFCM) global models."""
+        from repro.trace.workloads import get
+
+        trace = get("parser").trace(40_000)
+        stats = run_value_prediction(trace, {
+            "pi": PIPredictor(entries=None),
+            "gfcm": GlobalFCMPredictor(order=4),
+            "gdiff": GDiffPredictor(order=8, entries=None),
+        })
+        assert stats["gdiff"].raw_accuracy > stats["pi"].raw_accuracy + 0.1
+        assert stats["gdiff"].raw_accuracy > stats["gfcm"].raw_accuracy + 0.1

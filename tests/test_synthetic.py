@@ -1,0 +1,149 @@
+"""Tests for the workload composer (loop groups, branches, determinism)."""
+
+import itertools
+
+import pytest
+
+from repro.trace import OpClass
+from repro.trace.kernels import ConstantKernel, CounterKernel
+from repro.trace.synthetic import (
+    BRANCH_CODE_BASE,
+    CODE_BASE,
+    KernelSlot,
+    LoopGroup,
+    WorkloadSpec,
+    interleave,
+)
+
+
+def simple_spec(iterations=4, skip_prob=0.0):
+    return WorkloadSpec(
+        name="t",
+        seed=7,
+        groups=[
+            LoopGroup(
+                slots=[
+                    KernelSlot(lambda: CounterKernel(stride=1),
+                               skip_prob=skip_prob),
+                    KernelSlot(lambda: ConstantKernel(value=10**9)),
+                ],
+                iterations=iterations,
+            )
+        ],
+    )
+
+
+class TestGeneration:
+    def test_trace_length_exact(self):
+        trace = simple_spec().trace(100)
+        assert len(trace) == 100
+
+    def test_deterministic_given_seed(self):
+        a = simple_spec().trace(200)
+        b = simple_spec().trace(200)
+        assert [i.value for i in a] == [i.value for i in b]
+
+    def test_seed_override_changes_randomness(self):
+        spec = WorkloadSpec(
+            name="t", seed=1,
+            groups=[LoopGroup(
+                slots=[KernelSlot(lambda: CounterKernel(), skip_prob=0.5)],
+                iterations=8)],
+        )
+        a = [i.pc for i in spec.trace(100, seed=1)]
+        b = [i.pc for i in spec.trace(100, seed=2)]
+        assert a != b
+
+    def test_loop_branch_emitted_per_iteration(self):
+        trace = simple_spec(iterations=4).trace(60)
+        branches = [i for i in trace if i.op is OpClass.BRANCH]
+        assert branches
+        # Loop-back branches: taken until the trip count expires.
+        takens = [b.taken for b in branches[:4]]
+        assert takens == [True, True, True, False]
+
+    def test_branch_pcs_in_branch_range(self):
+        trace = simple_spec().trace(60)
+        for insn in trace:
+            if insn.op is OpClass.BRANCH:
+                assert insn.pc < CODE_BASE
+                assert insn.pc >= BRANCH_CODE_BASE
+            else:
+                assert insn.pc >= CODE_BASE
+
+    def test_kernels_get_distinct_code_regions(self):
+        trace = simple_spec().trace(60)
+        counter_pcs = {i.pc for i in trace
+                       if i.produces_value and i.value != 10**9}
+        constant_pcs = {i.pc for i in trace
+                        if i.produces_value and i.value == 10**9}
+        assert not counter_pcs & constant_pcs
+
+    def test_hammock_branch_for_skippable_slot(self):
+        spec = simple_spec(skip_prob=0.5)
+        trace = spec.trace(300)
+        guards = [i for i in trace if i.op is OpClass.BRANCH
+                  and i.pc < CODE_BASE and i.taken in (True, False)]
+        takens = sum(1 for g in guards if g.taken)
+        assert 0 < takens < len(guards)
+
+    def test_skip_prob_zero_never_skips(self):
+        trace = simple_spec(iterations=3).trace(120)
+        counter_values = [i.value for i in trace
+                          if i.produces_value and i.value != 10**9]
+        # Counter advances by 1 every iteration, never skipped.
+        assert counter_values[:5] == [1, 2, 3, 4, 5]
+
+    def test_group_weight_multiplies_visits(self):
+        spec = WorkloadSpec(
+            name="t", seed=1,
+            groups=[
+                LoopGroup(slots=[KernelSlot(lambda: ConstantKernel(1))],
+                          iterations=2, weight=3),
+                LoopGroup(slots=[KernelSlot(lambda: ConstantKernel(2))],
+                          iterations=2, weight=1),
+            ],
+        )
+        values = [i.value for i in spec.trace(200) if i.produces_value]
+        ones = values.count(1)
+        twos = values.count(2)
+        assert ones == pytest.approx(3 * twos, abs=4)
+
+    def test_repeat_emits_consecutive_blocks(self):
+        spec = WorkloadSpec(
+            name="t", seed=1,
+            groups=[LoopGroup(
+                slots=[KernelSlot(lambda: CounterKernel(stride=1), repeat=3)],
+                iterations=2)],
+        )
+        values = [i.value for i in spec.trace(20) if i.produces_value]
+        assert values[:3] == [1, 2, 3]
+
+
+class TestCodeCopies:
+    def test_value_stream_invariant(self):
+        base = [i.value for i in simple_spec().trace(300)
+                if i.produces_value]
+        copied = [i.value for i in simple_spec().trace(300, code_copies=8)
+                  if i.produces_value]
+        assert base == copied
+
+    def test_static_pc_count_grows(self):
+        plain = simple_spec().trace(300).stats.static_pcs
+        copied = simple_spec().trace(300, code_copies=8).stats.static_pcs
+        assert copied > plain
+
+
+class TestInterleave:
+    def test_combines_streams(self):
+        a = simple_spec()
+        b = WorkloadSpec(
+            name="u", seed=9,
+            groups=[LoopGroup(slots=[KernelSlot(lambda: ConstantKernel(77))],
+                              iterations=4)],
+        )
+        trace = interleave([a, b], 400)
+        assert len(trace) == 400
+        values = {i.value for i in trace if i.produces_value}
+        assert 77 in values and 10**9 in values
+        assert trace.name == "t+u"

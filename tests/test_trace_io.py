@@ -1,0 +1,124 @@
+"""Tests for trace serialization (round-trip, formats, errors)."""
+
+import gzip
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.trace import Instruction, OpClass, branch, ialu, load, store
+from repro.trace.io import iter_trace, load_trace, save_trace
+from repro.trace.workloads import get
+from repro.wordops import WORD_MASK
+
+
+def sample_instructions():
+    return [
+        ialu(0x1000, 3, 42, srcs=(1, 2)),
+        load(0x1004, 5, 0xDEADBEEF, 0x20_0000, srcs=(3,)),
+        store(0x1008, 0x20_0008, srcs=(5,)),
+        branch(0x100C, True, 0x1000, srcs=(5,)),
+        branch(0x1010, False, 0x1400),
+        Instruction(pc=0x1014, op=OpClass.NOP),
+        ialu(0x1018, 1, WORD_MASK),
+    ]
+
+
+class TestRoundTrip:
+    def test_plain_file(self, tmp_path):
+        path = tmp_path / "t.trace"
+        count = save_trace(sample_instructions(), path, name="demo")
+        assert count == 7
+        loaded = load_trace(path)
+        assert loaded.name == "demo"
+        assert list(loaded) == sample_instructions()
+
+    def test_gzip_file(self, tmp_path):
+        path = tmp_path / "t.trace.gz"
+        save_trace(sample_instructions(), path)
+        assert list(load_trace(path)) == sample_instructions()
+        # Really gzip on disk.
+        with gzip.open(path, "rt") as fh:
+            assert fh.readline().startswith("#repro-trace")
+
+    def test_iter_streams_lazily(self, tmp_path):
+        path = tmp_path / "t.trace"
+        save_trace(sample_instructions(), path)
+        it = iter_trace(path)
+        first = next(it)
+        assert first == sample_instructions()[0]
+
+    def test_trace_object_keeps_name(self, tmp_path):
+        trace = get("gzip").trace(500)
+        path = tmp_path / "w.trace"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.name == "gzip"
+        assert list(loaded) == list(trace)
+        assert loaded.stats.total == 500
+
+    def test_value_streams_survive(self, tmp_path):
+        from repro.trace.trace import value_stream
+
+        trace = get("parser").trace(800)
+        path = tmp_path / "p.trace.gz"
+        save_trace(trace, path)
+        assert value_stream(load_trace(path)) == value_stream(trace)
+
+
+class TestErrors:
+    def test_not_a_trace_file(self, tmp_path):
+        path = tmp_path / "junk.trace"
+        path.write_text("hello world\n")
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("#repro-trace v1 x\nIALU 100\n")
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_unknown_op(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("#repro-trace v1 x\nFLOAT 100 - - - - - -\n")
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+
+# Hypothesis strategy for arbitrary instructions.
+_regs = st.integers(min_value=0, max_value=31)
+_words = st.integers(min_value=0, max_value=WORD_MASK)
+_pcs = st.integers(min_value=0, max_value=1 << 48)
+
+
+@st.composite
+def instructions(draw):
+    op = draw(st.sampled_from(list(OpClass)))
+    pc = draw(_pcs)
+    srcs = tuple(draw(st.lists(_regs, max_size=3)))
+    if op in (OpClass.IALU, OpClass.LOAD):
+        dest = draw(_regs)
+        value = draw(_words)
+        addr = draw(_pcs) if op is OpClass.LOAD else None
+        return Instruction(pc=pc, op=op, dest=dest, srcs=srcs,
+                           value=value, addr=addr)
+    if op is OpClass.STORE:
+        return Instruction(pc=pc, op=op, srcs=srcs, addr=draw(_pcs))
+    if op is OpClass.BRANCH:
+        return Instruction(pc=pc, op=op, srcs=srcs,
+                           taken=draw(st.booleans()), target=draw(_pcs))
+    return Instruction(pc=pc, op=op, srcs=srcs)
+
+
+class TestProperties:
+    @given(st.lists(instructions(), max_size=40))
+    @settings(max_examples=50)
+    def test_arbitrary_round_trip(self, insns):
+        import tempfile
+        import pathlib
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path = pathlib.Path(tmp) / "t.trace"
+            save_trace(insns, path)
+            assert list(load_trace(path)) == insns

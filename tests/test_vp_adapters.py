@@ -1,0 +1,102 @@
+"""Tests for the pipeline value-predictor adapters."""
+
+import pytest
+
+from repro.pipeline import HGVQAdapter, LocalPredictorAdapter, SGVQAdapter
+from repro.predictors import ConstantPredictor, StridePredictor
+
+
+class TestLocalAdapter:
+    def test_dispatch_complete_cycle(self):
+        adapter = LocalPredictorAdapter(ConstantPredictor(9))
+        predicted, confident, tag = adapter.on_dispatch(0x10)
+        assert predicted == 9
+        assert confident is False  # confidence table cold
+        assert adapter.on_complete(0x10, tag, 9) is True
+        assert adapter.stats.attempts == 1
+
+    def test_confidence_builds_over_completions(self):
+        adapter = LocalPredictorAdapter(ConstantPredictor(9))
+        for _ in range(3):
+            _, _, tag = adapter.on_dispatch(0x10)
+            adapter.on_complete(0x10, tag, 9)
+        _, confident, tag = adapter.on_dispatch(0x10)
+        assert confident is True
+        adapter.on_complete(0x10, tag, 9)
+
+    def test_out_of_order_completions_keep_tags(self):
+        """Two instances of the same PC in flight complete out of order;
+        each completion is scored against its own dispatch-time tag."""
+        adapter = LocalPredictorAdapter(StridePredictor(entries=None))
+        # Warm the stride predictor: 0, 10, 20 ...
+        for v in (0, 10, 20):
+            _, _, tag = adapter.on_dispatch(0x10)
+            adapter.on_complete(0x10, tag, v)
+        p1, _, tag1 = adapter.on_dispatch(0x10)
+        p2, _, tag2 = adapter.on_dispatch(0x10)  # stale: same prediction
+        assert p1 == 30
+        assert p2 == 30  # predicted without seeing 30 retire
+        # Completions arrive out of order; each is scored against its
+        # own dispatch-time tag: p1 (30) correct, p2 (30 vs 40) wrong.
+        adapter.on_complete(0x10, tag2, 40)
+        adapter.on_complete(0x10, tag1, 30)
+        assert adapter.stats.correct == 1
+        assert adapter.stats.predictions == 4
+
+    def test_name_from_inner(self):
+        adapter = LocalPredictorAdapter(StridePredictor())
+        assert adapter.name == "local-stride"
+
+
+class TestSGVQAdapter:
+    def test_completion_order_defines_queue(self):
+        adapter = SGVQAdapter(order=4, entries=None)
+        # Values enter the GVQ in completion order.
+        _, _, t1 = adapter.on_dispatch(0x10)
+        _, _, t2 = adapter.on_dispatch(0x14)
+        adapter.on_complete(0x14, t2, 200)  # younger completes first
+        adapter.on_complete(0x10, t1, 100)
+        assert adapter.gdiff.queue.get(1) == 100
+        assert adapter.gdiff.queue.get(2) == 200
+
+    def test_learns_under_stable_order(self):
+        adapter = SGVQAdapter(order=4, entries=None)
+        hits = 0
+        for i in range(20):
+            v = i * i * 997  # locally hard
+            _, _, t1 = adapter.on_dispatch(0x10)
+            adapter.on_complete(0x10, t1, v)
+            p, _, t2 = adapter.on_dispatch(0x14)
+            if p == v + 5:
+                hits += 1
+            adapter.on_complete(0x14, t2, v + 5)
+        assert hits >= 17
+
+
+class TestHGVQAdapter:
+    def test_slot_tags_round_trip(self):
+        adapter = HGVQAdapter(order=4, entries=None)
+        _, _, (pred, conf, seq) = adapter.on_dispatch(0x10)
+        assert seq == 0
+        adapter.on_complete(0x10, (pred, conf, seq), 42)
+        assert adapter.stats.attempts == 1
+
+    def test_queue_is_dispatch_ordered_despite_completion_order(self):
+        adapter = HGVQAdapter(order=4, entries=None)
+        _, _, tag_a = adapter.on_dispatch(0xA)
+        _, _, tag_b = adapter.on_dispatch(0xB)
+        # B completes before A; dispatch order must be preserved.
+        adapter.on_complete(0xB, tag_b, 2)
+        adapter.on_complete(0xA, tag_a, 1)
+        probe = adapter.hybrid.queue.allocate(0)
+        assert adapter.hybrid.queue.get(probe, 1) == 2  # slot of B
+        assert adapter.hybrid.queue.get(probe, 2) == 1  # slot of A
+
+    def test_stats_track_gated_coverage(self):
+        adapter = HGVQAdapter(order=4, entries=None)
+        for i in range(12):
+            v = i * 4
+            p, c, tag = adapter.on_dispatch(0x10)
+            adapter.on_complete(0x10, tag, v)
+        assert adapter.stats.coverage > 0
+        assert adapter.stats.accuracy > 0.8

@@ -1,0 +1,78 @@
+"""Tests for fixed-width machine-word arithmetic."""
+
+import pytest
+
+from repro.wordops import (
+    WORD_BITS,
+    WORD_MASK,
+    from_signed,
+    to_signed,
+    wadd,
+    wrap,
+    wsub,
+)
+
+
+class TestWrap:
+    def test_identity_in_range(self):
+        assert wrap(42) == 42
+
+    def test_zero(self):
+        assert wrap(0) == 0
+
+    def test_max_word(self):
+        assert wrap(WORD_MASK) == WORD_MASK
+
+    def test_overflow_wraps(self):
+        assert wrap(WORD_MASK + 1) == 0
+
+    def test_overflow_wraps_offset(self):
+        assert wrap(WORD_MASK + 5) == 4
+
+    def test_negative_wraps(self):
+        assert wrap(-1) == WORD_MASK
+
+    def test_mask_is_word_bits_wide(self):
+        assert WORD_MASK == (1 << WORD_BITS) - 1
+
+
+class TestAddSub:
+    def test_simple_add(self):
+        assert wadd(2, 3) == 5
+
+    def test_add_wraps(self):
+        assert wadd(WORD_MASK, 1) == 0
+
+    def test_simple_sub(self):
+        assert wsub(7, 3) == 4
+
+    def test_sub_underflow_wraps(self):
+        assert wsub(3, 7) == WORD_MASK - 3
+
+    def test_sub_then_add_roundtrip(self):
+        a, b = 0x1234_5678_9ABC_DEF0, 0xFFFF_0000_1111_2222
+        assert wadd(b, wsub(a, b)) == a
+
+    def test_diff_of_equal_values_is_zero(self):
+        assert wsub(0xABCD, 0xABCD) == 0
+
+
+class TestSigned:
+    def test_positive_roundtrip(self):
+        assert to_signed(from_signed(123)) == 123
+
+    def test_negative_roundtrip(self):
+        assert to_signed(from_signed(-8)) == -8
+
+    def test_negative_encoding(self):
+        assert from_signed(-1) == WORD_MASK
+
+    def test_sign_boundary(self):
+        top_positive = (1 << (WORD_BITS - 1)) - 1
+        assert to_signed(top_positive) == top_positive
+        assert to_signed(top_positive + 1) == -(1 << (WORD_BITS - 1))
+
+    def test_stride_readability(self):
+        # A "negative stride" stored as an unsigned word reads back signed.
+        stride = wsub(100, 108)
+        assert to_signed(stride) == -8

@@ -1,0 +1,103 @@
+"""Tests for the ten SPECint2000-like benchmark specs."""
+
+import pytest
+
+from repro.core import GDiffPredictor
+from repro.harness import run_value_prediction
+from repro.predictors import StridePredictor
+from repro.trace.workloads import BENCHMARKS, all_specs, get
+
+
+class TestRegistry:
+    def test_ten_benchmarks_in_paper_order(self):
+        assert BENCHMARKS == [
+            "bzip2", "gap", "gcc", "gzip", "mcf",
+            "parser", "perl", "twolf", "vortex", "vpr",
+        ]
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get("soplex")
+
+    def test_all_specs_returns_fresh_objects(self):
+        a = all_specs()
+        b = all_specs()
+        assert a["mcf"] is not b["mcf"]
+
+    @pytest.mark.parametrize("name", BENCHMARKS)
+    def test_spec_named_correctly(self, name):
+        assert get(name).name == name
+
+    @pytest.mark.parametrize("name", BENCHMARKS)
+    def test_generates_instructions(self, name):
+        trace = get(name).trace(2000)
+        assert len(trace) == 2000
+        stats = trace.stats
+        assert stats.value_producing > 0
+        assert stats.branches > 0
+
+    @pytest.mark.parametrize("name", BENCHMARKS)
+    def test_deterministic(self, name):
+        a = get(name).trace(1500)
+        b = get(name).trace(1500)
+        assert [i.pc for i in a] == [i.pc for i in b]
+        assert [i.value for i in a] == [i.value for i in b]
+
+    @pytest.mark.parametrize("name", BENCHMARKS)
+    def test_value_density_realistic(self, name):
+        stats = get(name).trace(10_000).stats
+        fraction = stats.value_producing / stats.total
+        # Integer code: roughly 15-65% of instructions write a register.
+        assert 0.10 <= fraction <= 0.70
+
+
+class TestPaperShapes:
+    """Cheap, trend-level checks of the calibrated locality mixes.
+
+    Full-scale shape validation lives in the benchmark harness; these use
+    short traces and loose bounds so the unit suite stays fast.
+    """
+
+    def _accuracies(self, name, length=40_000):
+        trace = get(name).trace(length)
+        predictors = {
+            "stride": StridePredictor(entries=None),
+            "gdiff": GDiffPredictor(order=8, entries=None),
+        }
+        stats = run_value_prediction(trace, predictors)
+        return (stats["stride"].raw_accuracy, stats["gdiff"].raw_accuracy)
+
+    def test_gdiff_beats_stride_on_parser(self):
+        stride, gdiff = self._accuracies("parser")
+        assert gdiff > stride + 0.15
+
+    def test_gdiff_beats_stride_on_twolf(self):
+        stride, gdiff = self._accuracies("twolf")
+        assert gdiff > stride + 0.15
+
+    def test_mcf_most_predictable_for_gdiff(self):
+        _, mcf = self._accuracies("mcf")
+        _, gap = self._accuracies("gap")
+        assert mcf > 0.75
+        assert mcf > gap + 0.2
+
+    def test_gap_hard_for_everyone(self):
+        stride, gdiff = self._accuracies("gap")
+        assert stride < 0.55
+        assert gdiff < 0.55
+
+    def test_gap_improves_with_queue_32(self):
+        trace = get("gap").trace(40_000)
+        predictors = {
+            "g8": GDiffPredictor(order=8, entries=None),
+            "g32": GDiffPredictor(order=32, entries=None),
+        }
+        stats = run_value_prediction(trace, predictors)
+        assert stats["g32"].raw_accuracy > stats["g8"].raw_accuracy + 0.1
+
+    def test_mcf_memory_intensive(self):
+        from repro.pipeline import OutOfOrderCore
+
+        core = OutOfOrderCore()
+        sim = core.run(get("mcf").trace(20_000))
+        assert sim.dcache_miss_rate > 0.25
