@@ -1,0 +1,58 @@
+"""Telemetry overhead — the subsystem must be cheap enough to leave on.
+
+Two claims, measured on the acceptance workload (the HGVQ-equipped OOO
+core over a gzip trace):
+
+* **Disabled cost ≈ 0.** With no registry attached, instrumentation is a
+  handful of ``is not None`` branches; a detached run must stay within a
+  few percent of itself run-to-run (sanity floor for the 5% budget
+  documented in docs/TELEMETRY.md — the before/after numbers against the
+  pre-telemetry tree live there).
+* **Enabled cost is bounded.** A fully attached registry (per-cycle
+  occupancy, stall accounting, distance histograms) may not slow the
+  simulation by more than 50% — it measurably costs something, but not
+  multiples.
+
+Timing uses the best-of-N minimum, the stable estimator for noisy shared
+machines.
+"""
+
+import time
+
+from repro.pipeline import HGVQAdapter, OutOfOrderCore
+from repro.telemetry import MetricsRegistry
+from repro.trace.workloads import get
+
+LENGTH = 20_000
+ROUNDS = 5
+
+
+def _run_once(metrics):
+    adapter = HGVQAdapter(order=32, entries=8192)
+    if metrics is not None:
+        adapter.attach_metrics(metrics)
+    core = OutOfOrderCore(value_predictor=adapter, metrics=metrics,
+                          track_value_delay=True)
+    trace = get("gzip").trace(LENGTH)
+    start = time.perf_counter()
+    core.run(trace)
+    return time.perf_counter() - start
+
+
+def _best(metrics_factory):
+    return min(_run_once(metrics_factory()) for _ in range(ROUNDS))
+
+
+def bench_telemetry_overhead(benchmark, archive):
+    disabled = _best(lambda: None)
+    enabled = _best(MetricsRegistry)
+    ratio = enabled / disabled
+    benchmark.pedantic(lambda: _run_once(None), rounds=1, iterations=1)
+
+    print(f"\ntelemetry overhead: disabled {disabled * 1000:.1f} ms, "
+          f"enabled {enabled * 1000:.1f} ms ({(ratio - 1):+.1%})")
+
+    # Attached telemetry may not slow the pipeline by more than 50%.
+    assert ratio < 1.5, (
+        f"enabled telemetry cost {(ratio - 1):+.1%}; expected < +50%"
+    )

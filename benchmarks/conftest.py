@@ -5,13 +5,28 @@ asserts the headline *shape* (who wins, roughly by how much, where
 crossovers fall), and archives the rendered table under
 ``benchmarks/results/`` so the regenerated evaluation is inspectable after
 a run.
+
+The session also emits a consolidated ``BENCH_metrics.json`` at the repo
+root: per-bench wall times and outcomes plus the names of every archived
+table — the machine-readable perf trajectory of the benchmark suite.
 """
 
+import json
 import pathlib
+from datetime import datetime, timezone
 
 import pytest
 
+from repro.telemetry import get_logger
+
+log = get_logger("repro.benchmarks")
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+METRICS_PATH = REPO_ROOT / "BENCH_metrics.json"
+
+#: Session-wide accumulator for the consolidated metrics document.
+_session_records = {"benches": {}, "archived": []}
 
 
 @pytest.fixture
@@ -22,8 +37,37 @@ def archive():
     def _archive(result):
         path = RESULTS_DIR / f"{result.name}.txt"
         path.write_text(result.render() + "\n")
+        log.info("archived %s -> %s", result.name, path)
+        _session_records["archived"].append(result.name)
         print()
         print(result.render())
         return result
 
     return _archive
+
+
+def pytest_runtest_logreport(report):
+    """Collect per-bench wall time and outcome for BENCH_metrics.json."""
+    if report.when != "call":
+        return
+    _session_records["benches"][report.nodeid] = {
+        "outcome": report.outcome,
+        "duration_s": round(report.duration, 4),
+    }
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the consolidated benchmark-metrics document."""
+    benches = _session_records["benches"]
+    if not benches:
+        return
+    payload = {
+        "schema": 1,
+        "generated_at": datetime.now(timezone.utc).isoformat(),
+        "exit_status": int(exitstatus),
+        "total_wall_s": round(sum(b["duration_s"] for b in benches.values()), 4),
+        "benches": dict(sorted(benches.items())),
+        "archived": sorted(set(_session_records["archived"])),
+    }
+    METRICS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    log.info("wrote %s (%d benches)", METRICS_PATH, len(benches))

@@ -11,6 +11,13 @@ Subcommands:
   profile-style accuracy comparison over one benchmark.
 * ``repro simulate <benchmark> [--length N] [--vp NAME] [--speculate]`` —
   run the cycle-level OOO core and report IPC and machine statistics.
+
+Every subcommand accepts the shared telemetry flags (docs/TELEMETRY.md):
+``--metrics-out FILE`` writes a JSON run manifest (``-`` streams it to
+stdout, pushing the human-readable output to stderr), ``--trace-events
+FILE`` writes sampled prediction events as JSON lines, and ``-v``/``-vv``
+turn on INFO/DEBUG logging for the ``repro.*`` namespace.  Long runs show
+a single-line progress display on a TTY (silent when piped).
 """
 
 from __future__ import annotations
@@ -37,7 +44,17 @@ from .predictors import (
     PIPredictor,
     StridePredictor,
 )
+from .telemetry import (
+    EventRecorder,
+    MetricsRegistry,
+    ProgressPrinter,
+    RunManifest,
+    configure_logging,
+    get_logger,
+)
 from .trace.workloads import BENCHMARKS, get
+
+log = get_logger("repro.cli")
 
 #: Predictor factories exposed on the command line.
 PREDICTORS = {
@@ -54,13 +71,105 @@ PREDICTORS = {
     "gdiff-hgvq": lambda: HybridGDiffPredictor(order=32, entries=None),
 }
 
-#: Pipeline value-prediction schemes exposed on the command line.
+#: Pipeline value-prediction schemes exposed on the command line.  The
+#: ``gdiff-`` aliases name the paper's schemes explicitly.
 PIPELINE_SCHEMES = {
     "stride": lambda: LocalPredictorAdapter(StridePredictor(entries=8192)),
     "dfcm": lambda: LocalPredictorAdapter(DFCMPredictor(l1_entries=8192)),
     "sgvq": lambda: SGVQAdapter(order=32),
     "hgvq": lambda: HGVQAdapter(order=32),
+    "gdiff-sgvq": lambda: SGVQAdapter(order=32),
+    "gdiff-hgvq": lambda: HGVQAdapter(order=32),
 }
+
+
+class _NullSpan:
+    """Stand-in for a registry timer span when telemetry is off."""
+
+    items = 0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+class _Telemetry:
+    """Per-invocation telemetry wiring derived from the common flags.
+
+    Centralises the four decisions every command makes: whether a
+    registry/manifest exists, where sampled events go, where *human*
+    output goes (stderr when the manifest is streamed to stdout, so
+    ``repro ... --metrics-out - | jq .`` just works), and writing the
+    artefacts out at the end.
+    """
+
+    def __init__(self, args: argparse.Namespace, command: str):
+        self.metrics_out: Optional[str] = getattr(args, "metrics_out", None)
+        self.trace_events: Optional[str] = getattr(args, "trace_events", None)
+        enabled = bool(self.metrics_out or self.trace_events)
+        self.registry = MetricsRegistry() if enabled else None
+        self.events = EventRecorder(
+            sample_rate=getattr(args, "trace_sample", 1.0),
+            seed=getattr(args, "trace_seed", 0),
+        ) if self.trace_events else None
+        self.manifest = RunManifest(
+            command,
+            {k: v for k, v in vars(args).items() if k != "command"},
+        ) if self.metrics_out else None
+        self.human = sys.stderr if "-" in (self.metrics_out,
+                                           self.trace_events) else sys.stdout
+        self._no_progress = getattr(args, "no_progress", False)
+        # Fail before the run, not after: a long simulation should not
+        # complete and then discover its output path is unwritable.
+        for path in (self.metrics_out, self.trace_events):
+            if path and path != "-":
+                try:
+                    open(path, "a", encoding="utf-8").close()
+                except OSError as exc:
+                    raise SystemExit(f"cannot write {path}: {exc}")
+
+    def timer(self, name: str):
+        if self.registry is None:
+            return _NullSpan()
+        return self.registry.timer(name)
+
+    def progress(self, label: str) -> Optional[ProgressPrinter]:
+        if self._no_progress:
+            return None
+        printer = ProgressPrinter(label=label)
+        return printer if printer.enabled else None
+
+    def add(self, section: str, payload) -> None:
+        if self.manifest is not None:
+            self.manifest.add(section, payload)
+
+    def finish(self) -> None:
+        if self.manifest is not None:
+            self.manifest.finish()
+            self.manifest.write(self.metrics_out, self.registry)
+            if self.metrics_out != "-":
+                print(f"metrics manifest saved to {self.metrics_out}",
+                      file=self.human)
+        if self.events is not None:
+            count = self.events.write(self.trace_events)
+            log.info("wrote %d sampled events to %s", count,
+                     self.trace_events)
+            if self.trace_events != "-":
+                print(f"{count} sampled events saved to {self.trace_events}",
+                      file=self.human)
+
+
+def _attach_predictor_metrics(predictors: Dict[str, object],
+                              registry: Optional[MetricsRegistry]) -> None:
+    """Attach metrics to every predictor that supports it (gDiff family)."""
+    if registry is None:
+        return
+    for name, predictor in predictors.items():
+        attach = getattr(predictor, "attach_metrics", None)
+        if attach is not None:
+            attach(registry, prefix=f"gdiff.{name}")
 
 
 def _parse_benchmarks(spec: Optional[str]) -> Optional[List[str]]:
@@ -87,30 +196,45 @@ def cmd_list(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    tele = _Telemetry(args, "run")
     kwargs = {}
     if args.length:
         kwargs["length"] = args.length
     benchmarks = _parse_benchmarks(args.bench)
     if benchmarks and args.experiment != "fig12":
         kwargs["benchmarks"] = benchmarks
-    result = run_experiment(args.experiment, **kwargs)
+    log.info("running experiment %s (%s)", args.experiment,
+             kwargs or "defaults")
+    result = run_experiment(args.experiment, registry=tele.registry, **kwargs)
     text = result.render()
-    print(text)
+    print(text, file=tele.human)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             fh.write(text + "\n")
-        print(f"\nsaved to {args.out}")
+        print(f"\nsaved to {args.out}", file=tele.human)
+    tele.add("experiment", result.as_dict())
+    tele.finish()
     return 0
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
-    trace = get(args.benchmark).trace(args.length)
-    print(f"{trace.name}: {trace.stats}")
+    tele = _Telemetry(args, "trace")
+    log.info("generating %s trace (%d instructions)",
+             args.benchmark, args.length)
+    with tele.timer("trace_gen") as span:
+        trace = get(args.benchmark).trace(args.length)
+        span.items = len(trace)
+    print(f"{trace.name}: {trace.stats}", file=tele.human)
     if args.out:
         from .trace.io import save_trace
 
-        count = save_trace(trace, args.out)
-        print(f"saved {count} instructions to {args.out}")
+        with tele.timer("trace_save") as span:
+            count = save_trace(trace, args.out)
+            span.items = count
+        print(f"saved {count} instructions to {args.out}", file=tele.human)
+    tele.add("benchmark", args.benchmark)
+    tele.add("trace", str(trace.stats))
+    tele.finish()
     return 0
 
 
@@ -120,20 +244,39 @@ def cmd_predict(args: argparse.Namespace) -> int:
     if unknown:
         raise SystemExit(f"unknown predictor(s): {unknown}; "
                          f"choose from {sorted(PREDICTORS)}")
-    trace = get(args.benchmark).trace(args.length)
+    tele = _Telemetry(args, "predict")
+    log.info("predicting %s over %s (%d instructions, gated=%s)",
+             ", ".join(names), args.benchmark, args.length, args.gated)
+    with tele.timer("trace_gen") as span:
+        trace = get(args.benchmark).trace(args.length)
+        span.items = len(trace)
     predictors = {name: PREDICTORS[name]() for name in names}
-    stats = run_value_prediction(trace, predictors, gated=args.gated)
-    print(f"{args.benchmark}: {trace.stats}\n")
+    _attach_predictor_metrics(predictors, tele.registry)
+    progress = tele.progress(f"predict {args.benchmark}: ")
+    with tele.timer("predict") as span:
+        stats = run_value_prediction(
+            trace, predictors, gated=args.gated,
+            metrics=tele.registry, events=tele.events,
+            on_progress=progress,
+        )
+        span.items = len(trace)
+    if progress is not None:
+        progress.close()
+    out = tele.human
+    print(f"{args.benchmark}: {trace.stats}\n", file=out)
     header = f"{'predictor':14s} {'raw_acc':>8s}"
     if args.gated:
         header += f" {'accuracy':>9s} {'coverage':>9s}"
-    print(header)
-    print("-" * len(header))
+    print(header, file=out)
+    print("-" * len(header), file=out)
     for name, stat in stats.items():
         line = f"{name:14s} {stat.raw_accuracy:8.1%}"
         if args.gated:
             line += f" {stat.accuracy:9.1%} {stat.coverage:9.1%}"
-        print(line)
+        print(line, file=out)
+    tele.add("benchmark", args.benchmark)
+    tele.add("predictors", {name: s.as_dict() for name, s in stats.items()})
+    tele.finish()
     return 0
 
 
@@ -144,25 +287,89 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             raise SystemExit(f"unknown scheme {args.vp!r}; choose from "
                              f"{sorted(PIPELINE_SCHEMES)}")
         adapter = PIPELINE_SCHEMES[args.vp]()
+    tele = _Telemetry(args, "simulate")
+    if adapter is not None:
+        if tele.registry is not None:
+            adapter.attach_metrics(tele.registry)
+        if tele.events is not None:
+            adapter.attach_events(tele.events)
     core = OutOfOrderCore(value_predictor=adapter,
                           speculate=args.speculate,
-                          track_value_delay=True)
-    result = core.run(get(args.benchmark).trace(args.length))
+                          track_value_delay=True,
+                          metrics=tele.registry)
+    log.info("simulating %s (%d instructions, vp=%s, speculate=%s)",
+             args.benchmark, args.length, args.vp, args.speculate)
+    with tele.timer("trace_gen") as span:
+        trace = get(args.benchmark).trace(args.length)
+        span.items = len(trace)
+    progress = tele.progress(f"simulate {args.benchmark}: ")
+    with tele.timer("simulate") as span:
+        result = core.run(trace, on_progress=progress)
+        span.items = len(trace)
+    if progress is not None:
+        progress.close()
+    out = tele.human
     print(f"{args.benchmark}: IPC {result.ipc:.2f} over {result.cycles} "
-          f"cycles ({result.retired} retired)")
-    print(f"  D-cache miss rate   : {result.dcache_miss_rate:.1%}")
-    print(f"  branch mispredicts  : {result.branch_mispredict_rate:.1%}")
-    print(f"  mean value delay    : {result.mean_value_delay():.2f}")
+          f"cycles ({result.retired} retired)", file=out)
+    print(f"  D-cache miss rate   : {result.dcache_miss_rate:.1%}", file=out)
+    print(f"  branch mispredicts  : {result.branch_mispredict_rate:.1%}",
+          file=out)
+    print(f"  mean value delay    : {result.mean_value_delay():.2f}",
+          file=out)
     if adapter is not None:
         print(f"  VP ({adapter.name}): accuracy "
               f"{adapter.stats.accuracy:.1%}, coverage "
-              f"{adapter.stats.coverage:.1%}")
+              f"{adapter.stats.coverage:.1%}", file=out)
         if args.speculate:
-            print(f"  selective reissues  : {result.reissues}")
+            print(f"  selective reissues  : {result.reissues}", file=out)
+    tele.add("benchmark", args.benchmark)
+    tele.add("simulation", {
+        "ipc": result.ipc,
+        "cycles": result.cycles,
+        "retired": result.retired,
+        "retired_value_producing": result.retired_vp,
+        "dcache_miss_rate": result.dcache_miss_rate,
+        "branch_mispredict_rate": result.branch_mispredict_rate,
+        "mean_value_delay": result.mean_value_delay(),
+        "reissues": result.reissues,
+    })
+    if adapter is not None:
+        tele.add("predictors", {adapter.name: adapter.stats.as_dict()})
+    tele.finish()
     return 0
 
 
+def _sample_rate(text: str) -> float:
+    """argparse type for ``--trace-sample``: a float within [0, 1]."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a number: {text!r}")
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"sampling rate must be within [0, 1], got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
+    telemetry = argparse.ArgumentParser(add_help=False)
+    group = telemetry.add_argument_group("telemetry")
+    group.add_argument("-v", "--verbose", action="count", default=0,
+                       help="-v for INFO, -vv for DEBUG (repro.* loggers)")
+    group.add_argument("--metrics-out", metavar="FILE",
+                       help="write a JSON run manifest; '-' streams it to "
+                            "stdout (tables then print to stderr)")
+    group.add_argument("--trace-events", metavar="FILE",
+                       help="write sampled prediction events as JSON lines")
+    group.add_argument("--trace-sample", type=_sample_rate, default=0.01,
+                       metavar="RATE",
+                       help="event sampling probability in [0, 1] "
+                            "(default 0.01)")
+    group.add_argument("--trace-seed", type=int, default=0, metavar="SEED",
+                       help="sampling RNG seed (default 0)")
+    group.add_argument("--no-progress", action="store_true",
+                       help="disable the TTY progress line")
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'Detecting Global Stride Locality in "
@@ -170,21 +377,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list benchmarks, experiments, predictors")
+    sub.add_parser("list", parents=[telemetry],
+                   help="list benchmarks, experiments, predictors")
 
-    p_run = sub.add_parser("run", help="regenerate a paper table/figure")
+    p_run = sub.add_parser("run", parents=[telemetry],
+                           help="regenerate a paper table/figure")
     p_run.add_argument("experiment", choices=sorted(EXPERIMENTS))
     p_run.add_argument("--length", type=int, default=None,
                        help="trace length per benchmark")
     p_run.add_argument("--bench", help="comma-separated benchmark subset")
     p_run.add_argument("--out", help="also save the rendered table here")
 
-    p_trace = sub.add_parser("trace", help="generate a workload trace")
+    p_trace = sub.add_parser("trace", parents=[telemetry],
+                             help="generate a workload trace")
     p_trace.add_argument("benchmark", choices=BENCHMARKS)
     p_trace.add_argument("--length", type=int, default=100_000)
     p_trace.add_argument("--out", help="save the trace (.trace / .trace.gz)")
 
-    p_pred = sub.add_parser("predict", help="profile accuracy comparison")
+    p_pred = sub.add_parser("predict", parents=[telemetry],
+                            help="profile accuracy comparison")
     p_pred.add_argument("benchmark", choices=BENCHMARKS)
     p_pred.add_argument("--length", type=int, default=100_000)
     p_pred.add_argument("--predictors",
@@ -192,11 +403,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_pred.add_argument("--gated", action="store_true",
                         help="apply the 3-bit confidence gate")
 
-    p_sim = sub.add_parser("simulate", help="run the OOO core")
+    p_sim = sub.add_parser("simulate", parents=[telemetry],
+                           help="run the OOO core")
     p_sim.add_argument("benchmark", choices=BENCHMARKS)
     p_sim.add_argument("--length", type=int, default=50_000)
     p_sim.add_argument("--vp", help="value-prediction scheme "
-                                    "(stride|dfcm|sgvq|hgvq)")
+                                    "(stride|dfcm|sgvq|hgvq|gdiff-sgvq|"
+                                    "gdiff-hgvq)")
     p_sim.add_argument("--speculate", action="store_true",
                        help="break dependencies on confident predictions")
     return parser
@@ -204,6 +417,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "verbose", 0):
+        configure_logging(args.verbose)
     handlers = {
         "list": cmd_list,
         "run": cmd_run,

@@ -49,6 +49,10 @@ class GDiffPredictor(ValuePredictor):
 
     name = "gdiff"
 
+    #: Distance selected by the most recent :meth:`update` (None when the
+    #: update matched nothing).  Read by the event-trace recorder.
+    last_distance: Optional[int] = None
+
     def __init__(
         self,
         order: int = 8,
@@ -88,8 +92,24 @@ class GDiffPredictor(ValuePredictor):
     def update(self, pc: int, actual: int) -> None:
         """Diff *actual* against the queue, train the table, shift it in."""
         diffs = self._calc_diffs(actual)
-        self.table.train(pc, diffs)
+        self.last_distance = self.table.train(pc, diffs)
         self.queue.push(actual)
+
+    def attach_metrics(self, registry, prefix: str = "gdiff") -> None:
+        """Publish this predictor's internals into *registry*.
+
+        Emits the ``<prefix>.distance_match`` histogram (the Fig. 7
+        distance distribution), train match/mismatch counters, and table
+        aliasing/occupancy state; a collector adds the queue depth at
+        export time.
+        """
+        self.table.attach_metrics(registry, prefix)
+        queue = self.queue
+
+        def _collect(reg):
+            reg.counter(f"{prefix}.queue_pushes").value = queue.total_pushed
+
+        registry.add_collector(_collect)
 
     def observe(self, value: int) -> None:
         """Shift a value into the queue without training any table entry.

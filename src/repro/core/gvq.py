@@ -103,6 +103,10 @@ class SlottedValueQueue:
         self._capacity = capacity
         self._buf: List[int] = [0] * capacity
         self._next_seq = 0
+        #: Write-backs that arrived after their slot was recycled; a
+        #: nonzero count means the capacity margin over the ROB is too
+        #: small (telemetry surfaces this as ``<prefix>.queue_late_deposits``).
+        self.late_deposits = 0
 
     def allocate(self, filler: int) -> int:
         """Allocate the next dispatch-order slot, seeded with *filler*.
@@ -126,6 +130,7 @@ class SlottedValueQueue:
         bound prevents in practice.
         """
         if seq < self._next_seq - self._capacity or seq >= self._next_seq:
+            self.late_deposits += 1
             return False
         self._buf[seq % self._capacity] = value
         return True
@@ -150,3 +155,4 @@ class SlottedValueQueue:
     def clear(self) -> None:
         self._buf = [0] * self._capacity
         self._next_seq = 0
+        self.late_deposits = 0

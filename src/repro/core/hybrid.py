@@ -42,6 +42,10 @@ class HybridGDiffPredictor(ValuePredictor):
 
     name = "gdiff-hgvq"
 
+    #: Distance selected by the most recent :meth:`writeback` (None when
+    #: the update matched nothing).  Read by the event-trace recorder.
+    last_distance: Optional[int] = None
+
     def __init__(
         self,
         order: int = 32,
@@ -88,8 +92,26 @@ class HybridGDiffPredictor(ValuePredictor):
         """
         self.queue.deposit(seq, actual)
         diffs = self._calc_diffs(seq, actual)
-        self.table.train(pc, diffs)
+        self.last_distance = self.table.train(pc, diffs)
         self.filler.update(pc, actual)
+
+    def attach_metrics(self, registry, prefix: str = "gdiff.hgvq") -> None:
+        """Publish the gDiff table meters plus HGVQ queue health.
+
+        ``<prefix>.queue_late_deposits`` counts write-backs that found
+        their slot already recycled (should stay 0 with a properly sized
+        capacity margin over the ROB).
+        """
+        self.table.attach_metrics(registry, prefix)
+        queue = self.queue
+
+        def _collect(reg):
+            reg.counter(f"{prefix}.queue_allocations").value = \
+                queue.total_allocated
+            reg.counter(f"{prefix}.queue_late_deposits").value = \
+                queue.late_deposits
+
+        registry.add_collector(_collect)
 
     # ------------------------------------------------------------------
     # Trace-driven ValuePredictor interface

@@ -41,6 +41,18 @@ from ..tables import DirectMappedTable
 DISTANCE_POLICIES = ("sticky-nearest", "nearest", "farthest")
 
 
+class _TrainMeters:
+    """Telemetry handles for one GDiffTable (attached, never constructed
+    on the hot path)."""
+
+    __slots__ = ("distance", "matches", "mismatches")
+
+    def __init__(self, registry, prefix: str):
+        self.distance = registry.histogram(f"{prefix}.distance_match")
+        self.matches = registry.counter(f"{prefix}.train_matches")
+        self.mismatches = registry.counter(f"{prefix}.train_mismatches")
+
+
 class GDiffEntry:
     """One prediction-table entry: n stored differences plus a distance."""
 
@@ -65,6 +77,10 @@ class GDiffEntry:
 
 class GDiffTable:
     """PC-indexed table of :class:`GDiffEntry` with the paper's update rule."""
+
+    #: Telemetry meters; a class-level None keeps the un-instrumented hot
+    #: path to a single attribute test.
+    _meters: Optional[_TrainMeters] = None
 
     def __init__(
         self,
@@ -107,12 +123,18 @@ class GDiffTable:
         """
         entry = self._table.lookup_or_create(pc, lambda: GDiffEntry(self.order))
         matches = entry.matching_distances(diffs)
+        meters = self._meters
         if matches:
             entry.distance = self._choose(entry.distance, matches)
             if self.refresh_on_match:
                 entry.diffs = list(diffs)
+            if meters is not None:
+                meters.matches.inc()
+                meters.distance.observe(entry.distance)
             return entry.distance
         entry.diffs = list(diffs)
+        if meters is not None:
+            meters.mismatches.inc()
         return None
 
     def _choose(self, current: Optional[int], matches: List[int]) -> int:
@@ -122,6 +144,29 @@ class GDiffTable:
         if self.policy == "farthest":
             return matches[-1]
         return matches[0]
+
+    def attach_metrics(self, registry, prefix: str = "gdiff") -> None:
+        """Wire this table into a :class:`~repro.telemetry.MetricsRegistry`.
+
+        Enables aliasing accounting (the Figure 9 quantity) and registers
+        the hot-path meters: a histogram of matched GVQ distances — the
+        Figure 7 distribution as a free by-product of training — plus
+        match/mismatch counters.  Slow-changing table state (accesses,
+        conflicts, evictions, occupancy) is published by a collector at
+        export time rather than counted per update.
+        """
+        self._table.track_conflicts = True
+        self._meters = _TrainMeters(registry, prefix)
+        table = self._table
+
+        def _collect(reg):
+            reg.counter(f"{prefix}.table_accesses").value = table.accesses
+            reg.counter(f"{prefix}.table_conflicts").value = table.conflicts
+            reg.counter(f"{prefix}.table_evictions").value = table.evictions
+            reg.gauge(f"{prefix}.table_occupancy").set(table.occupied())
+            reg.gauge(f"{prefix}.table_conflict_rate").set(table.conflict_rate)
+
+        registry.add_collector(_collect)
 
     @property
     def conflict_rate(self) -> float:

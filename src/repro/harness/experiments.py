@@ -82,6 +82,7 @@ def fig8(length: int = PROFILE_LENGTH,
         name="fig8",
         title="profile prediction accuracy (unlimited tables)",
         columns=["bench", "stride", "dfcm", "gdiff8"],
+        kinds={"stride": "rate", "dfcm": "rate", "gdiff8": "rate"},
         notes=["paper averages: stride 57%, DFCM 64%, gdiff(q=8) 73%"],
     )
     for bench in benchmarks or BENCHMARKS:
@@ -120,6 +121,7 @@ def fig9(length: int = PROFILE_LENGTH,
         name="fig9",
         title="gDiff table aliasing (conflict rate) vs table size",
         columns=["bench"] + labels,
+        kinds={label: "rate" for label in labels},
         notes=["paper: 8K entries within ~1% of infinite; conflicts grow "
                "sharply below 8K"],
     )
@@ -158,6 +160,7 @@ def fig10(length: int = PROFILE_LENGTH,
         name="fig10",
         title=f"gDiff(q={order}) accuracy vs value delay",
         columns=["bench"] + labels,
+        kinds={label: "rate" for label in labels},
         notes=["paper: average 73% at T=0 falling to 52% at T=16"],
     )
     for bench in benchmarks or BENCHMARKS:
@@ -191,6 +194,7 @@ def fig12(length: int = PIPELINE_LENGTH,
         name="fig12",
         title=f"value delay distribution ({bench})",
         columns=["delay", "fraction"],
+        kinds={"fraction": "rate"},
         notes=[f"mean value delay = {sim.mean_value_delay():.2f} "
                "(paper: ~5 for vortex)"],
     )
@@ -217,6 +221,7 @@ def _pipeline_capability(
     for adapter_name in adapters:
         columns += [f"{adapter_name}_acc", f"{adapter_name}_cov"]
     result = ExperimentResult(name=name, title=title, columns=columns,
+                              kinds={c: "rate" for c in columns[1:]},
                               notes=notes)
     for bench in benchmarks or BENCHMARKS:
         row: List[float] = []
@@ -304,6 +309,8 @@ def fig18(length: int = PROFILE_LENGTH,
         title=f"load-address predictability, Figure 18{suffix}",
         columns=["bench", "ls_acc", "ls_cov", "gs_acc", "gs_cov",
                  "markov_acc", "markov_cov"],
+        kinds={c: "rate" for c in ("ls_acc", "ls_cov", "gs_acc", "gs_cov",
+                                   "markov_acc", "markov_cov")},
         notes=["paper (all loads): gs 86%/63% vs ls 86%/55% vs markov "
                "33%/87%",
                "paper (missing): gs 53%/33% vs ls 55%/25% vs markov "
@@ -346,6 +353,7 @@ def table2(length: int = PIPELINE_LENGTH,
         name="table2",
         title="baseline IPC (4-way, 64-entry window, no value speculation)",
         columns=["bench", "ipc", "dmiss", "bmiss"],
+        kinds={"ipc": "plain", "dmiss": "rate", "bmiss": "rate"},
         notes=["paper reports baseline IPC per benchmark; the source text "
                "does not preserve the numbers, so ours stand alone — mcf "
                "should be the most memory-bound"],
@@ -385,6 +393,8 @@ def fig19(length: int = PIPELINE_LENGTH,
         name="fig19",
         title="speedup of value speculation over the baseline",
         columns=["bench", "baseline_ipc"] + list(adapters),
+        kinds={"baseline_ipc": "plain",
+               **{name: "rate" for name in adapters}},
         notes=["paper: gdiff(HGVQ) 19.2% average (53% on mcf); local "
                "stride ~15%; local context lowest"],
     )
@@ -424,12 +434,19 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
 }
 
 
-def run_experiment(name: str, **kwargs) -> ExperimentResult:
-    """Run one experiment from the registry by id."""
+def run_experiment(name: str, registry=None, **kwargs) -> ExperimentResult:
+    """Run one experiment from the registry by id.
+
+    With a :class:`~repro.telemetry.MetricsRegistry` the run is timed as
+    phase ``experiment.<name>`` (wall time in the exported manifest).
+    """
     try:
         fn = EXPERIMENTS[name]
     except KeyError:
         raise KeyError(
             f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
         ) from None
-    return fn(**kwargs)
+    if registry is None:
+        return fn(**kwargs)
+    with registry.timer(f"experiment.{name}"):
+        return fn(**kwargs)

@@ -13,12 +13,29 @@ from typing import Any, Dict, List, Optional, Sequence
 
 
 #: Column-name fragments whose values are plain numbers, not rates.
+#: Only consulted by the legacy heuristic fallback; experiments should
+#: declare each column's kind explicitly via ``ExperimentResult.kinds``.
 _PLAIN_COLUMNS = ("ipc", "delay", "count", "cycles")
 
+#: Recognised column kinds: a rate renders as a percentage, a plain
+#: metric as a fixed-point number, and a label is passed through.
+COLUMN_KINDS = ("rate", "plain", "label")
 
-def fmt(value: Any, column: str = "") -> str:
-    """Format one cell: rates as percentages, plain metrics as numbers."""
+
+def fmt(value: Any, column: str = "", kind: str = "") -> str:
+    """Format one cell: rates as percentages, plain metrics as numbers.
+
+    *kind* (``"rate"`` / ``"plain"``) decides explicitly; without it the
+    legacy magnitude heuristic applies — a float in [-0.5, 1.5] outside a
+    known plain column is assumed to be a rate, which mis-renders genuine
+    small numbers (a 1.2-cycle delay becomes "120.0%").  Declare kinds on
+    the result instead of relying on the fallback.
+    """
     if isinstance(value, float):
+        if kind == "rate":
+            return f"{value:.1%}"
+        if kind == "plain":
+            return f"{value:.2f}"
         name = column.lower()
         if any(frag in name for frag in _PLAIN_COLUMNS):
             return f"{value:.2f}"
@@ -42,9 +59,26 @@ class ExperimentResult:
     rows: List[List[Any]] = field(default_factory=list)
     #: Paper anchor values / caveats, printed under the table.
     notes: List[str] = field(default_factory=list)
+    #: Explicit per-column formatting: {column name: "rate" | "plain"}.
+    #: Columns not listed fall back to the legacy magnitude heuristic.
+    kinds: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        unknown = [k for k in self.kinds.values() if k not in COLUMN_KINDS]
+        if unknown:
+            raise ValueError(f"unknown column kind(s) {unknown}; "
+                             f"choose from {COLUMN_KINDS}")
 
     def add_row(self, label: str, *values: Any) -> None:
         self.rows.append([label, *values])
+
+    def set_kind(self, kind: str, *columns: str) -> None:
+        """Declare *columns* to format as *kind* ("rate" or "plain")."""
+        if kind not in COLUMN_KINDS:
+            raise ValueError(f"unknown column kind {kind!r}; "
+                             f"choose from {COLUMN_KINDS}")
+        for column in columns:
+            self.kinds[column] = kind
 
     def row(self, label: str) -> List[Any]:
         """Return the row with the given label (KeyError if absent)."""
@@ -62,10 +96,23 @@ class ExperimentResult:
         """Return a single cell by row label and column name."""
         return self.row(label)[self.columns.index(column)]
 
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (embedded in run manifests by the CLI)."""
+        return {
+            "name": self.name,
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [list(row) for row in self.rows],
+            "kinds": dict(self.kinds),
+            "notes": list(self.notes),
+        }
+
     def render(self) -> str:
         """Render the table as aligned ASCII."""
+        kinds = self.kinds
         table = [self.columns] + [
-            [fmt(cell, self.columns[i]) for i, cell in enumerate(row)]
+            [fmt(cell, self.columns[i], kinds.get(self.columns[i], ""))
+             for i, cell in enumerate(row)]
             for row in self.rows
         ]
         widths = [

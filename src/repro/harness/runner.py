@@ -10,18 +10,29 @@ lives in :mod:`repro.pipeline`.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from ..predictors.base import PredictionStats, ValuePredictor
 from ..predictors.confidence import ConfidenceTable
 from ..predictors.markov import MarkovPredictor
 from ..trace.isa import Instruction, OpClass
 
+#: Value-producing instructions per windowed-accuracy sample
+#: (``harness.window_accuracy.*`` series).
+DEFAULT_WINDOW = 8192
+
 
 def run_value_prediction(
     trace: Iterable[Instruction],
     predictors: Mapping[str, ValuePredictor],
     gated: bool = False,
+    *,
+    metrics=None,
+    events=None,
+    window: int = DEFAULT_WINDOW,
+    on_progress: Optional[Callable[[int, Optional[int]], None]] = None,
+    progress_every: int = 8192,
+    total: Optional[int] = None,
 ) -> Dict[str, PredictionStats]:
     """Run predictors over the value stream of *trace*.
 
@@ -31,13 +42,56 @@ def run_value_prediction(
     accompanies each predictor and the gated accuracy/coverage fields of
     the returned stats are populated.
 
+    Telemetry (all optional; the un-instrumented loop is unchanged beyond
+    ``is not None`` guards):
+
+    * *metrics*: a :class:`~repro.telemetry.MetricsRegistry`.  Publishes
+      the ``harness.window_accuracy.<name>`` series (raw accuracy per
+      *window* value instructions; plus ``harness.window_coverage.<name>``
+      when gated) and, when gated, the confidence-gate transition counters
+      ``harness.confidence_gained.<name>`` / ``harness.confidence_lost.<name>``.
+    * *events*: an :class:`~repro.telemetry.EventRecorder`; each
+      (instruction, predictor) outcome is offered as a structured event
+      with pc / predicted / actual / confidence / matched GVQ distance.
+    * *on_progress*: ``(instructions_processed, total)`` callback fired
+      every *progress_every* instructions; *total* defaults to
+      ``len(trace)`` when available.
+
     Returns:
         {predictor name: PredictionStats}.
     """
     stats = {name: PredictionStats() for name in predictors}
     confidence = {name: ConfidenceTable() if gated else None for name in predictors}
     items = list(predictors.items())
+    if total is None and hasattr(trace, "__len__"):
+        total = len(trace)
+    track = metrics is not None
+    if track:
+        acc_series = {
+            name: metrics.series_of(f"harness.window_accuracy.{name}")
+            for name in predictors
+        }
+        cov_series = {
+            name: metrics.series_of(f"harness.window_coverage.{name}")
+            for name in predictors
+        } if gated else {}
+        gained = {
+            name: metrics.counter(f"harness.confidence_gained.{name}")
+            for name in predictors
+        } if gated else {}
+        lost = {
+            name: metrics.counter(f"harness.confidence_lost.{name}")
+            for name in predictors
+        } if gated else {}
+        win_correct = dict.fromkeys(predictors, 0)
+        win_confident = dict.fromkeys(predictors, 0)
+        win_attempts = 0
+        value_instructions = metrics.counter("harness.value_instructions")
+    processed = 0
     for insn in trace:
+        processed += 1
+        if on_progress is not None and processed % progress_every == 0:
+            on_progress(processed, total)
         if not insn.produces_value:
             continue
         pc, actual = insn.pc, insn.value
@@ -46,12 +100,46 @@ def run_value_prediction(
             conf = confidence[name]
             if conf is not None:
                 is_confident = predicted is not None and conf.is_confident(pc)
-                stats[name].record(predicted, actual, is_confident)
+                correct = stats[name].record(predicted, actual, is_confident)
                 if predicted is not None:
                     conf.train(pc, predicted == actual)
+                    if track and conf.is_confident(pc) != is_confident:
+                        (gained if not is_confident else lost)[name].inc()
             else:
-                stats[name].record(predicted, actual)
+                is_confident = False
+                correct = stats[name].record(predicted, actual)
             predictor.update(pc, actual)
+            if events is not None and events.want():
+                events.push({
+                    "i": processed - 1,
+                    "pc": pc,
+                    "predictor": name,
+                    "predicted": predicted,
+                    "actual": actual,
+                    "correct": correct,
+                    "confident": is_confident if gated else None,
+                    "distance": getattr(predictor, "last_distance", None),
+                })
+            if track:
+                if correct:
+                    win_correct[name] += 1
+                if is_confident:
+                    win_confident[name] += 1
+        if track:
+            win_attempts += 1
+            if win_attempts >= window:
+                for name in stats:
+                    acc_series[name].append(win_correct[name] / win_attempts)
+                    win_correct[name] = 0
+                    if gated:
+                        cov_series[name].append(
+                            win_confident[name] / win_attempts)
+                        win_confident[name] = 0
+                win_attempts = 0
+    if track and stats:
+        value_instructions.inc(next(iter(stats.values())).attempts)
+    if on_progress is not None:
+        on_progress(processed, total)
     return stats
 
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
 from ..trace.isa import Instruction, OpClass
 from .branch import GShare
@@ -121,6 +121,12 @@ class OutOfOrderCore:
             dependencies — dependents may issue using the predicted value,
             with selective reissue on misprediction (Figure 19).
         track_value_delay: collect the Figure 12 histogram.
+        metrics: optional :class:`~repro.telemetry.MetricsRegistry`; when
+            attached the run publishes per-cycle ROB occupancy, stall-reason
+            counters, flush/reissue counts, and the value-delay histogram
+            under the ``ooo.*`` namespace (see docs/TELEMETRY.md).  The
+            per-cycle accounting uses plain local dicts merged once at the
+            end, so a detached core pays a single branch per cycle.
     """
 
     def __init__(
@@ -129,20 +135,41 @@ class OutOfOrderCore:
         value_predictor: Optional[PipelinePredictor] = None,
         speculate: bool = False,
         track_value_delay: bool = False,
+        metrics=None,
     ):
         self.config = config if config is not None else ProcessorConfig()
         self.vp = value_predictor
         self.speculate = speculate
-        self.track_value_delay = track_value_delay
+        self.metrics = metrics
+        # The value-delay histogram is the core's headline internal-state
+        # metric; an attached registry implies we want it.
+        self.track_value_delay = track_value_delay or metrics is not None
         self.icache = Cache(self.config.icache)
         self.dcache = Cache(self.config.dcache)
         self.branch_predictor = GShare(self.config.gshare_history_bits)
 
     def run(self, trace: Iterable[Instruction],
-            max_cycles: Optional[int] = None) -> SimResult:
-        """Simulate the full trace; returns aggregate statistics."""
+            max_cycles: Optional[int] = None,
+            on_progress: Optional[Callable[[int, Optional[int]], None]] = None,
+            total: Optional[int] = None,
+            progress_every: int = 8192) -> SimResult:
+        """Simulate the full trace; returns aggregate statistics.
+
+        Args:
+            on_progress: optional ``(retired, total)`` callback invoked
+                every *progress_every* retired instructions (and once at
+                the end); *total* is taken from ``len(trace)`` when the
+                trace supports it.
+        """
         cfg = self.config
         result = SimResult()
+        if total is None and hasattr(trace, "__len__"):
+            total = len(trace)
+        track = self.metrics is not None
+        occupancy: Dict[int, int] = {}
+        stalls: Dict[str, int] = {}
+        reissue_events = 0
+        next_progress = progress_every
         stream = iter(trace)
         rob: deque = deque()
         fetch_queue: deque = deque()
@@ -170,6 +197,10 @@ class OutOfOrderCore:
                 cycle -= 1
                 break
 
+            if track:
+                occ = len(rob)
+                occupancy[occ] = occupancy.get(occ, 0) + 1
+
             # ---- Retire (in order) -------------------------------------
             retired_this_cycle = 0
             while rob and retired_this_cycle < cfg.width and \
@@ -183,6 +214,17 @@ class OutOfOrderCore:
                 if insn.produces_value:
                     result.retired_vp += 1
                 retired_this_cycle += 1
+            if track and retired_this_cycle == 0:
+                if not rob:
+                    reason = "retire_empty_window"
+                elif rob[0].state == _EXECUTING:
+                    reason = "retire_head_executing"
+                else:
+                    reason = "retire_head_waiting"
+                stalls[reason] = stalls.get(reason, 0) + 1
+            if on_progress is not None and result.retired >= next_progress:
+                next_progress = result.retired + progress_every
+                on_progress(result.retired, total)
 
             # ---- Complete (write-back) ---------------------------------
             still_flying: List[_Entry] = []
@@ -211,6 +253,7 @@ class OutOfOrderCore:
                         # selective reissue of speculative consumers.
                         if (self.speculate and entry.confident
                                 and entry.predicted != insn.value):
+                            reissue_events += 1
                             result.reissues += self._selective_reissue(
                                 entry, in_flight
                             )
@@ -241,6 +284,25 @@ class OutOfOrderCore:
                     issued += 1
                     if insn.is_mem:
                         ports_free -= 1
+            if track and issued == 0 and rob:
+                # Classify the zero-issue cycle after the fact so the issue
+                # loop itself carries no accounting: a waiting entry with an
+                # unresolved producer means a dependency stall; waiting
+                # entries that are all ready can only have been held back by
+                # structural limits (dcache ports, in practice).
+                saw_waiting = dep_blocked = False
+                for entry in rob:
+                    if entry.state == _WAITING:
+                        saw_waiting = True
+                        if not self._ready(entry):
+                            dep_blocked = True
+                            break
+                if dep_blocked:
+                    stalls["issue_dependencies"] = \
+                        stalls.get("issue_dependencies", 0) + 1
+                elif saw_waiting:
+                    stalls["issue_dcache_ports"] = \
+                        stalls.get("issue_dcache_ports", 0) + 1
 
             # ---- Dispatch -----------------------------------------------
             dispatched = 0
@@ -268,8 +330,25 @@ class OutOfOrderCore:
                     pending_mispredict = None
                 rob.append(entry)
                 dispatched += 1
+            if track and dispatched == 0:
+                if fetch_queue:
+                    stalls["dispatch_rob_full"] = \
+                        stalls.get("dispatch_rob_full", 0) + 1
+                elif not exhausted:
+                    stalls["dispatch_fetch_starved"] = \
+                        stalls.get("dispatch_fetch_starved", 0) + 1
 
             # ---- Fetch --------------------------------------------------
+            if track and not exhausted:
+                if stalled_branch is not None or pending_mispredict is not None:
+                    stalls["fetch_branch_resolve"] = \
+                        stalls.get("fetch_branch_resolve", 0) + 1
+                elif cycle < fetch_free_at:
+                    stalls["fetch_redirect_or_icache"] = \
+                        stalls.get("fetch_redirect_or_icache", 0) + 1
+                elif len(fetch_queue) >= fetch_queue_cap:
+                    stalls["fetch_queue_full"] = \
+                        stalls.get("fetch_queue_full", 0) + 1
             if (not exhausted and stalled_branch is None
                     and pending_mispredict is None
                     and cycle >= fetch_free_at
@@ -311,7 +390,33 @@ class OutOfOrderCore:
         result.cycles = cycle
         result.dcache_accesses = self.dcache.accesses
         result.dcache_misses = self.dcache.misses
+        if on_progress is not None:
+            on_progress(result.retired, total)
+        if track:
+            self._publish(result, occupancy, stalls, reissue_events)
         return result
+
+    def _publish(self, result: SimResult, occupancy: Dict[int, int],
+                 stalls: Dict[str, int], reissue_events: int) -> None:
+        """Merge the run's local accounting into the attached registry."""
+        m = self.metrics
+        m.histogram("ooo.rob_occupancy").merge_counts(occupancy)
+        m.histogram("ooo.value_delay").merge_counts(
+            result.value_delay_histogram)
+        for reason, count in stalls.items():
+            m.counter(f"ooo.stall.{reason}").inc(count)
+        m.counter("ooo.cycles").inc(result.cycles)
+        m.counter("ooo.retired").inc(result.retired)
+        m.counter("ooo.retired_value_producing").inc(result.retired_vp)
+        m.counter("ooo.branches").inc(result.branches)
+        m.counter("ooo.branch_mispredicts").inc(result.branch_mispredicts)
+        m.counter("ooo.icache_misses").inc(result.icache_misses)
+        m.counter("ooo.dcache_accesses").inc(result.dcache_accesses)
+        m.counter("ooo.dcache_misses").inc(result.dcache_misses)
+        m.counter("ooo.flush_events").inc(reissue_events)
+        m.counter("ooo.reissued_instructions").inc(result.reissues)
+        m.gauge("ooo.ipc").set(result.ipc)
+        m.gauge("ooo.mean_value_delay").set(result.mean_value_delay())
 
     def _ready(self, entry: _Entry) -> bool:
         """Dependency check; records speculative-value consumption."""

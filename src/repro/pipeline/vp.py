@@ -38,9 +38,51 @@ class PipelinePredictor:
 
     name = "adapter"
 
+    #: Optional event recorder (class-level None keeps the hot path to one
+    #: attribute test); attach via :meth:`attach_events`.
+    _events = None
+
     def __init__(self, confidence: Optional[ConfidenceTable] = None):
         self.confidence = confidence if confidence is not None else ConfidenceTable()
         self.stats = PredictionStats()
+
+    def attach_events(self, recorder) -> None:
+        """Sample completion-time prediction events into *recorder*."""
+        self._events = recorder
+
+    def _record_event(self, pc: int, predicted: Optional[int],
+                      confident: bool, actual: int, correct: bool,
+                      distance: Optional[int]) -> None:
+        events = self._events
+        if events is not None and events.want():
+            events.push({
+                "pc": pc,
+                "predictor": self.name,
+                "predicted": predicted,
+                "actual": actual,
+                "correct": correct,
+                "confident": confident,
+                "distance": distance,
+            })
+
+    def attach_metrics(self, registry) -> None:
+        """Publish the adapter's accuracy/coverage as ``vp.<name>.*`` gauges.
+
+        Registered as an export-time collector so the pipeline's dispatch
+        and completion paths stay untouched.  Subclasses extend this to
+        expose their internal predictor state.
+        """
+        stats = self.stats
+        prefix = f"vp.{self.name}"
+
+        def _collect(reg):
+            reg.gauge(f"{prefix}.accuracy").set(stats.accuracy)
+            reg.gauge(f"{prefix}.coverage").set(stats.coverage)
+            reg.gauge(f"{prefix}.raw_accuracy").set(stats.raw_accuracy)
+            reg.counter(f"{prefix}.attempts").value = stats.attempts
+            reg.counter(f"{prefix}.predictions").value = stats.predictions
+
+        registry.add_collector(_collect)
 
     def on_dispatch(self, pc: int) -> Tuple[Optional[int], bool, object]:
         """Returns (prediction, confident, tag to pass back at complete)."""
@@ -76,6 +118,12 @@ class LocalPredictorAdapter(PipelinePredictor):
         self.spec_update = spec_update
         self.name = inner.name
 
+    def attach_metrics(self, registry) -> None:
+        super().attach_metrics(registry)
+        attach = getattr(self.inner, "attach_metrics", None)
+        if attach is not None:
+            attach(registry, prefix=f"vp.{self.name}.inner")
+
     def on_dispatch(self, pc: int) -> Tuple[Optional[int], bool, object]:
         predicted = self.inner.predict(pc)
         confident = predicted is not None and self.confidence.is_confident(pc)
@@ -87,6 +135,8 @@ class LocalPredictorAdapter(PipelinePredictor):
     def on_complete(self, pc: int, tag: object, actual: int) -> bool:
         predicted, confident, speculated = tag
         correct = self._score(pc, predicted, confident, actual)
+        if self._events is not None:
+            self._record_event(pc, predicted, confident, actual, correct, None)
         if speculated:
             # Exact bookkeeping: the speculative-advance count always
             # equals the number of speculated instances still in flight,
@@ -117,6 +167,10 @@ class SGVQAdapter(PipelinePredictor):
         self.gdiff = GDiffPredictor(order=order, entries=entries)
         self.name = f"gdiff-sgvq-{order}"
 
+    def attach_metrics(self, registry) -> None:
+        super().attach_metrics(registry)
+        self.gdiff.attach_metrics(registry, prefix="gdiff.sgvq")
+
     def on_dispatch(self, pc: int) -> Tuple[Optional[int], bool, object]:
         predicted = self.gdiff.predict(pc)
         confident = predicted is not None and self.confidence.is_confident(pc)
@@ -126,6 +180,9 @@ class SGVQAdapter(PipelinePredictor):
         predicted, confident = tag
         correct = self._score(pc, predicted, confident, actual)
         self.gdiff.update(pc, actual)
+        if self._events is not None:
+            self._record_event(pc, predicted, confident, actual, correct,
+                               self.gdiff.last_distance)
         return correct
 
 
@@ -151,6 +208,10 @@ class HGVQAdapter(PipelinePredictor):
         )
         self.name = f"gdiff-hgvq-{order}"
 
+    def attach_metrics(self, registry) -> None:
+        super().attach_metrics(registry)
+        self.hybrid.attach_metrics(registry, prefix="gdiff.hgvq")
+
     def on_dispatch(self, pc: int) -> Tuple[Optional[int], bool, object]:
         predicted, seq = self.hybrid.dispatch(pc)
         confident = predicted is not None and self.confidence.is_confident(pc)
@@ -160,4 +221,7 @@ class HGVQAdapter(PipelinePredictor):
         predicted, confident, seq = tag
         correct = self._score(pc, predicted, confident, actual)
         self.hybrid.writeback(pc, seq, actual)
+        if self._events is not None:
+            self._record_event(pc, predicted, confident, actual, correct,
+                               self.hybrid.last_distance)
         return correct

@@ -53,6 +53,7 @@ class DirectMappedTable:
         self._owner: Dict[int, int] = {}
         self.accesses = 0
         self.conflicts = 0
+        self.evictions = 0
 
     @property
     def unlimited(self) -> bool:
@@ -88,6 +89,8 @@ class DirectMappedTable:
         owner = self._owner.get(idx)
         aliased = owner is not None and owner != pc
         if entry is None or (self.tagged and aliased):
+            if entry is not None:
+                self.evictions += 1
             entry = factory()
             self._data[idx] = entry
         if self.track_conflicts and aliased:
@@ -112,6 +115,7 @@ class DirectMappedTable:
         self._owner.clear()
         self.accesses = 0
         self.conflicts = 0
+        self.evictions = 0
 
 
 class SetAssociativeTable:

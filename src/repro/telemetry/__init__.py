@@ -1,0 +1,44 @@
+"""Telemetry: structured metrics, phase timing, event tracing, manifests.
+
+Design rules, enforced across the package:
+
+* **Leave-on cheap.** Hot-path instrumentation is a single ``is not
+  None`` guard when disabled and plain dict/attribute work when enabled —
+  no locks, no string formatting, no allocation per event unless an event
+  recorder is attached and sampling keeps the event.
+* **One registry per run.** The CLI (or a test) creates a
+  :class:`MetricsRegistry`, threads it through the layers it cares about,
+  and exports everything at once via a :class:`RunManifest`.
+* **Names are a contract.** Every emitted metric name is listed in
+  ``docs/TELEMETRY.md``; tests assert the table and the code agree.
+"""
+
+from .events import EventRecorder
+from .log import configure as configure_logging
+from .log import get_logger, verbosity_to_level
+from .manifest import RunManifest, git_revision
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    PhaseTiming,
+    Series,
+)
+from .progress import ProgressPrinter
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Series",
+    "PhaseTiming",
+    "MetricsRegistry",
+    "EventRecorder",
+    "RunManifest",
+    "git_revision",
+    "ProgressPrinter",
+    "get_logger",
+    "configure_logging",
+    "verbosity_to_level",
+]

@@ -1,0 +1,118 @@
+"""Sampled event tracing: a bounded ring buffer of structured events.
+
+Per-prediction events are far too numerous to keep unconditionally, so the
+recorder samples: each offered event is kept with probability
+``sample_rate`` drawn from a private seeded RNG, which makes any given
+(seed, stream) pair fully deterministic — two runs over the same trace
+record exactly the same events.  The buffer is a fixed-capacity ring, so a
+long run keeps the *most recent* ``capacity`` sampled events.
+
+Events are plain dicts (the recorder imposes no schema beyond JSON
+serialisability); the prediction-event fields emitted by the harness are
+documented in ``docs/TELEMETRY.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from typing import Any, Dict, Iterator, List, Optional
+
+
+class EventRecorder:
+    """Bounded, sampling recorder of structured events.
+
+    Args:
+        capacity: ring-buffer size; older sampled events are overwritten.
+        sample_rate: probability in [0, 1] that an offered event is kept.
+            1.0 keeps everything (no RNG draw on the hot path); 0.0 keeps
+            nothing but still counts offers.
+        seed: seed for the private RNG, making sampling reproducible.
+    """
+
+    def __init__(self, capacity: int = 65536, sample_rate: float = 1.0,
+                 seed: int = 0):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError("sample_rate must be within [0, 1]")
+        self.capacity = capacity
+        self.sample_rate = sample_rate
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._buf: List[Dict[str, Any]] = []
+        self._next = 0          # ring write position once the buffer is full
+        self.offered = 0        # events presented to the recorder
+        self.recorded = 0       # events that passed sampling
+
+    def want(self) -> bool:
+        """Decide (and count) whether the next offered event is sampled.
+
+        Callers use this *before* building the event dict so an unsampled
+        event costs one RNG draw and nothing else::
+
+            if recorder.want():
+                recorder.push({"pc": pc, ...})
+        """
+        self.offered += 1
+        if self.sample_rate >= 1.0:
+            return True
+        if self.sample_rate <= 0.0:
+            return False
+        return self._rng.random() < self.sample_rate
+
+    def push(self, event: Dict[str, Any]) -> None:
+        """Store one already-sampled event in the ring."""
+        self.recorded += 1
+        if len(self._buf) < self.capacity:
+            self._buf.append(event)
+        else:
+            self._buf[self._next] = event
+            self._next = (self._next + 1) % self.capacity
+
+    def record(self, event: Dict[str, Any]) -> bool:
+        """Offer one event; samples, stores, and reports whether it kept."""
+        if not self.want():
+            return False
+        self.push(event)
+        return True
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    def events(self) -> List[Dict[str, Any]]:
+        """Return the retained events, oldest first."""
+        if len(self._buf) < self.capacity:
+            return list(self._buf)
+        return self._buf[self._next:] + self._buf[:self._next]
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        return iter(self.events())
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "offered": self.offered,
+            "recorded": self.recorded,
+            "retained": len(self._buf),
+            "capacity": self.capacity,
+            "sample_rate": self.sample_rate,
+            "seed": self.seed,
+        }
+
+    def write(self, path: str, stream=None) -> int:
+        """Write retained events as JSON lines (ndjson); returns the count.
+
+        ``path == "-"`` writes to *stream* (default: ``sys.stdout``).
+        """
+        events = self.events()
+        if path == "-":
+            if stream is None:
+                import sys
+                stream = sys.stdout
+            for event in events:
+                stream.write(json.dumps(event) + "\n")
+        else:
+            with open(path, "w", encoding="utf-8") as fh:
+                for event in events:
+                    fh.write(json.dumps(event) + "\n")
+        return len(events)

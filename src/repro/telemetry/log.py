@@ -1,0 +1,64 @@
+"""Logging conventions for the ``repro`` package.
+
+Library code never configures handlers; it asks :func:`get_logger` for a
+namespaced logger (everything lives under ``repro.*``) and logs away —
+silent by default thanks to the root ``repro`` logger's NullHandler.  The
+CLI (or a test) calls :func:`configure` once to attach a stderr handler:
+``-v`` maps to INFO, ``-vv`` to DEBUG.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+ROOT_NAME = "repro"
+
+#: verbosity count (argparse ``-v`` occurrences) -> logging level.
+_LEVELS = {0: logging.WARNING, 1: logging.INFO, 2: logging.DEBUG}
+
+# Library default: quiet unless the application wires a handler.
+logging.getLogger(ROOT_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str = ROOT_NAME) -> logging.Logger:
+    """Return a logger under the ``repro`` namespace.
+
+    ``get_logger("harness")`` and ``get_logger("repro.harness")`` are the
+    same logger; bare names are qualified automatically.
+    """
+    if name != ROOT_NAME and not name.startswith(ROOT_NAME + "."):
+        name = f"{ROOT_NAME}.{name}"
+    return logging.getLogger(name)
+
+
+def verbosity_to_level(verbosity: int) -> int:
+    """Map an ``-v`` count to a logging level (clamped at DEBUG)."""
+    return _LEVELS.get(max(0, verbosity), logging.DEBUG)
+
+
+def configure(verbosity: int = 0, stream=None,
+              fmt: Optional[str] = None) -> logging.Logger:
+    """Attach (or retune) the single stderr handler on the root logger.
+
+    Idempotent: calling again adjusts the level of the existing handler
+    instead of stacking duplicates, so tests and repeated CLI entry are
+    safe.
+    """
+    root = logging.getLogger(ROOT_NAME)
+    level = verbosity_to_level(verbosity)
+    root.setLevel(level)
+    handler = next(
+        (h for h in root.handlers
+         if getattr(h, "_repro_cli_handler", False)), None)
+    if handler is None:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler._repro_cli_handler = True
+        handler.setFormatter(logging.Formatter(
+            fmt or "%(levelname)s %(name)s: %(message)s"))
+        root.addHandler(handler)
+    elif stream is not None:
+        handler.setStream(stream)
+    handler.setLevel(level)
+    return root

@@ -1,0 +1,285 @@
+"""Structured metrics: counters, gauges, histograms, series, phase timers.
+
+The registry is deliberately lock-free and allocation-light: every metric
+is a tiny ``__slots__`` object whose hot method touches one attribute or
+one plain dict, so instrumentation is cheap enough to leave compiled in.
+Code that *may* run without telemetry takes ``metrics=None`` and guards
+with a single ``is not None`` test — the disabled path costs one branch.
+
+Naming convention (the full contract lives in ``docs/TELEMETRY.md``):
+dotted lowercase paths, ``<subsystem>.<metric>``, e.g.
+``ooo.stall.rob_full`` or ``gdiff.hgvq.distance_match``.  Phase timers use
+``/``-separated paths to express nesting (``simulate/trace_gen``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value; ``set`` overwrites."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Any = None
+
+    def set(self, value: Any) -> None:
+        self.value = value
+
+
+class Histogram:
+    """A bucketed frequency count over observed values.
+
+    The bucket key is the observed value itself for integer metrics
+    (distances, delays, occupancies — the common case here), or the value
+    quantised to ``bucket_width`` when one is given.  The hot path is one
+    dict get/set; no sorting or preallocated bucket arrays.
+    """
+
+    __slots__ = ("name", "bucket_width", "buckets", "count", "total")
+
+    def __init__(self, name: str, bucket_width: Optional[float] = None):
+        self.name = name
+        self.bucket_width = bucket_width
+        self.buckets: Dict[Any, int] = {}
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value, n: int = 1) -> None:
+        key = value if self.bucket_width is None else \
+            int(value / self.bucket_width) * self.bucket_width
+        buckets = self.buckets
+        buckets[key] = buckets.get(key, 0) + n
+        self.count += n
+        self.total += value * n
+
+    def merge_counts(self, counts: Dict[Any, int]) -> None:
+        """Bulk-merge a plain ``{value: count}`` dict (bucket_width rules
+        still apply per key)."""
+        for value, n in counts.items():
+            self.observe(value, n)
+
+    @property
+    def mean(self) -> float:
+        if not self.count:
+            return 0.0
+        return self.total / self.count
+
+
+class Series:
+    """An append-only sequence of sampled values (e.g. windowed accuracy)."""
+
+    __slots__ = ("name", "points")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.points: List[Any] = []
+
+    def append(self, value: Any) -> None:
+        self.points.append(value)
+
+
+class PhaseTiming:
+    """Accumulated wall time (and optional item throughput) for one phase."""
+
+    __slots__ = ("name", "wall_s", "calls", "items")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.wall_s = 0.0
+        self.calls = 0
+        self.items = 0
+
+    @property
+    def items_per_s(self) -> Optional[float]:
+        if not self.items or not self.wall_s:
+            return None
+        return self.items / self.wall_s
+
+
+class _TimerSpan:
+    """Context manager returned by :meth:`MetricsRegistry.timer`.
+
+    Setting :attr:`items` (e.g. instructions processed) before exit makes
+    the phase report a throughput (items/second).
+    """
+
+    __slots__ = ("_registry", "_name", "_qualified", "_start", "items")
+
+    def __init__(self, registry: "MetricsRegistry", name: str):
+        self._registry = registry
+        self._name = name
+        self._qualified = ""
+        self._start = 0.0
+        self.items = 0
+
+    def __enter__(self) -> "_TimerSpan":
+        stack = self._registry._timer_stack
+        self._qualified = "/".join(stack + [self._name]) if stack else self._name
+        stack.append(self._name)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        elapsed = time.perf_counter() - self._start
+        self._registry._timer_stack.pop()
+        phase = self._registry.phase(self._qualified)
+        phase.wall_s += elapsed
+        phase.calls += 1
+        phase.items += self.items
+
+
+class MetricsRegistry:
+    """The per-run home of every metric.
+
+    ``counter``/``gauge``/``histogram``/``series`` are get-or-create by
+    name, so instrumentation sites can be written without a registration
+    step.  ``add_collector`` registers a callable invoked at export time
+    for state that is cheaper to read once at the end (table occupancy,
+    aliasing totals) than to count on the hot path.
+    """
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        self.series: Dict[str, Series] = {}
+        self.phases: Dict[str, PhaseTiming] = {}
+        self._collectors: List[Callable[["MetricsRegistry"], None]] = []
+        self._timer_stack: List[str] = []
+
+    # -- get-or-create accessors ---------------------------------------
+    def counter(self, name: str) -> Counter:
+        try:
+            return self.counters[name]
+        except KeyError:
+            metric = self.counters[name] = Counter(name)
+            return metric
+
+    def gauge(self, name: str) -> Gauge:
+        try:
+            return self.gauges[name]
+        except KeyError:
+            metric = self.gauges[name] = Gauge(name)
+            return metric
+
+    def histogram(self, name: str,
+                  bucket_width: Optional[float] = None) -> Histogram:
+        try:
+            return self.histograms[name]
+        except KeyError:
+            metric = self.histograms[name] = Histogram(name, bucket_width)
+            return metric
+
+    def series_of(self, name: str) -> Series:
+        try:
+            return self.series[name]
+        except KeyError:
+            metric = self.series[name] = Series(name)
+            return metric
+
+    def phase(self, name: str) -> PhaseTiming:
+        try:
+            return self.phases[name]
+        except KeyError:
+            timing = self.phases[name] = PhaseTiming(name)
+            return timing
+
+    # -- timing ---------------------------------------------------------
+    def timer(self, name: str) -> _TimerSpan:
+        """Time a phase: ``with registry.timer("trace_gen") as span: ...``.
+
+        Nested timers record under ``outer/inner`` qualified names, so the
+        exported phase table shows the hierarchy without double counting
+        ambiguity (the outer phase's wall time includes its children).
+        """
+        return _TimerSpan(self, name)
+
+    # -- deferred collection --------------------------------------------
+    def add_collector(self, fn: Callable[["MetricsRegistry"], None]) -> None:
+        self._collectors.append(fn)
+
+    def collect(self) -> None:
+        """Run registered collectors (idempotent: collectors overwrite)."""
+        for fn in self._collectors:
+            fn(self)
+
+    # -- export ----------------------------------------------------------
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready snapshot of everything in the registry."""
+        self.collect()
+        return {
+            "counters": {n: c.value for n, c in sorted(self.counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self.gauges.items())},
+            "histograms": {
+                n: {
+                    "buckets": {str(k): v
+                                for k, v in sorted(h.buckets.items())},
+                    "count": h.count,
+                    "mean": h.mean,
+                }
+                for n, h in sorted(self.histograms.items())
+            },
+            "series": {n: list(s.points) for n, s in sorted(self.series.items())},
+            "phases": {
+                n: {
+                    "wall_s": p.wall_s,
+                    "calls": p.calls,
+                    "items": p.items,
+                    "items_per_s": p.items_per_s,
+                }
+                for n, p in sorted(self.phases.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`as_dict` output (JSON round-trip).
+
+        Histogram bucket keys come back as strings (JSON object keys);
+        integer-looking keys are restored to ints so a round-tripped
+        registry exports identically.
+        """
+        registry = cls()
+        for name, value in data.get("counters", {}).items():
+            registry.counter(name).value = value
+        for name, value in data.get("gauges", {}).items():
+            registry.gauge(name).set(value)
+        for name, spec in data.get("histograms", {}).items():
+            hist = registry.histogram(name)
+            for key, count in spec.get("buckets", {}).items():
+                try:
+                    key = int(key)
+                except ValueError:
+                    try:
+                        key = float(key)
+                    except ValueError:
+                        pass
+                hist.buckets[key] = count
+            hist.count = spec.get("count", sum(hist.buckets.values()))
+            hist.total = spec.get("mean", 0.0) * hist.count
+        for name, points in data.get("series", {}).items():
+            registry.series_of(name).points = list(points)
+        for name, spec in data.get("phases", {}).items():
+            phase = registry.phase(name)
+            phase.wall_s = spec.get("wall_s", 0.0)
+            phase.calls = spec.get("calls", 0)
+            phase.items = spec.get("items", 0)
+        return registry

@@ -1,0 +1,72 @@
+"""Single-line progress display for long runs.
+
+A :class:`ProgressPrinter` is an ``on_progress(done, total)`` callable the
+harness and pipeline accept.  It repaints one carriage-return line on a
+TTY and stays completely silent when the stream is piped (or when
+explicitly disabled), so redirected output never fills with control
+characters.  Updates are throttled by wall time, not call count, so
+callers may invoke it as often as they like.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional
+
+
+class ProgressPrinter:
+    """Carriage-return progress line; silent off-TTY.
+
+    Args:
+        label: prefix shown before the counts.
+        stream: output stream (default ``sys.stderr`` — progress must
+            never pollute a piped stdout).
+        enabled: force on/off; default auto-detects ``stream.isatty()``.
+        min_interval: minimum seconds between repaints.
+    """
+
+    def __init__(self, label: str = "", stream=None,
+                 enabled: Optional[bool] = None,
+                 min_interval: float = 0.1):
+        self.stream = stream if stream is not None else sys.stderr
+        if enabled is None:
+            isatty = getattr(self.stream, "isatty", None)
+            enabled = bool(isatty and isatty())
+        self.enabled = enabled
+        self.label = label
+        self.min_interval = min_interval
+        self._last_paint = 0.0
+        self._last_width = 0
+        self._painted = False
+
+    def __call__(self, done: int, total: Optional[int]) -> None:
+        if not self.enabled:
+            return
+        now = time.perf_counter()
+        if self._painted and now - self._last_paint < self.min_interval:
+            return
+        self._last_paint = now
+        if total:
+            pct = 100.0 * done / total
+            text = f"{self.label}{done:,}/{total:,} ({pct:.0f}%)"
+        else:
+            text = f"{self.label}{done:,}"
+        pad = max(0, self._last_width - len(text))
+        self.stream.write("\r" + text + " " * pad)
+        self.stream.flush()
+        self._last_width = len(text)
+        self._painted = True
+
+    def close(self) -> None:
+        """Erase the progress line so ordinary output starts clean."""
+        if self._painted:
+            self.stream.write("\r" + " " * self._last_width + "\r")
+            self.stream.flush()
+            self._painted = False
+
+    def __enter__(self) -> "ProgressPrinter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import PIPELINE_SCHEMES, PREDICTORS, build_parser, main
@@ -91,3 +93,78 @@ class TestRegistries:
         for name, factory in PIPELINE_SCHEMES.items():
             adapter = factory()
             assert hasattr(adapter, "on_dispatch")
+
+
+class TestTelemetryFlags:
+    def test_predict_writes_manifest(self, capsys, tmp_path):
+        out = tmp_path / "m.json"
+        assert main(["predict", "gzip", "--length", "2000",
+                     "--predictors", "stride,gdiff8",
+                     "--metrics-out", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        for key in ("schema", "command", "args", "git_sha", "python",
+                    "started_at", "finished_at", "duration_s",
+                    "phases", "metrics", "predictors"):
+            assert key in doc, key
+        assert doc["command"] == "predict"
+        assert doc["args"]["benchmark"] == "gzip"
+        assert {"trace_gen", "predict"} <= set(doc["phases"])
+        assert doc["phases"]["predict"]["items"] > 0
+        assert {"stride", "gdiff8"} <= set(doc["predictors"])
+        assert 0.0 <= doc["predictors"]["stride"]["raw_accuracy"] <= 1.0
+
+    def test_simulate_manifest_has_acceptance_shape(self, capsys, tmp_path):
+        out = tmp_path / "run.json"
+        assert main(["simulate", "gzip", "--length", "6000",
+                     "--vp", "gdiff-hgvq",
+                     "--metrics-out", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        # Per-phase wall time and throughput.
+        sim = doc["phases"]["simulate"]
+        assert sim["wall_s"] > 0 and sim["items_per_s"] > 0
+        # Per-predictor accuracy/coverage.
+        (pred_stats,) = doc["predictors"].values()
+        assert {"accuracy", "coverage"} <= set(pred_stats)
+        metrics = doc["metrics"]
+        # GVQ distance-match histogram (Figure 7's measurement).
+        assert metrics["histograms"]["gdiff.hgvq.distance_match"]["count"] > 0
+        # OOO stall-reason counters.
+        assert any(name.startswith("ooo.stall.")
+                   for name in metrics["counters"])
+        assert metrics["counters"]["ooo.cycles"] > 0
+
+    def test_metrics_out_dash_streams_json_to_stdout(self, capsys):
+        assert main(["run", "fig8", "--length", "5000", "--bench", "gzip",
+                     "--metrics-out", "-"]) == 0
+        captured = capsys.readouterr()
+        doc = json.loads(captured.out)  # stdout is pure JSON...
+        assert doc["command"] == "run"
+        assert doc["experiment"]["name"] == "fig8"
+        assert "fig8" in captured.err  # ...and the table moved to stderr
+
+    def test_trace_events_written_as_ndjson(self, capsys, tmp_path):
+        path = tmp_path / "events.ndjson"
+        assert main(["simulate", "gzip", "--length", "4000", "--vp", "hgvq",
+                     "--trace-events", str(path),
+                     "--trace-sample", "1.0"]) == 0
+        lines = path.read_text().splitlines()
+        assert lines
+        event = json.loads(lines[0])
+        for key in ("pc", "predictor", "predicted", "actual",
+                    "correct", "confident", "distance"):
+            assert key in event, key
+
+    def test_trace_sampling_is_seeded(self, tmp_path, capsys):
+        def run(seed, name):
+            path = tmp_path / name
+            main(["simulate", "gzip", "--length", "3000", "--vp", "hgvq",
+                  "--trace-events", str(path), "--trace-sample", "0.2",
+                  "--trace-seed", str(seed)])
+            capsys.readouterr()
+            return path.read_text()
+
+        assert run(5, "a.ndjson") == run(5, "b.ndjson")
+
+    def test_verbose_flag_accepted(self, capsys):
+        assert main(["predict", "gzip", "--length", "1000",
+                     "--predictors", "stride", "-v"]) == 0
