@@ -26,7 +26,33 @@ REPO_ROOT = pathlib.Path(__file__).parent.parent
 METRICS_PATH = REPO_ROOT / "BENCH_metrics.json"
 
 #: Session-wide accumulator for the consolidated metrics document.
-_session_records = {"benches": {}, "archived": []}
+_session_records = {"benches": {}, "archived": [], "metrics": {}}
+
+
+@pytest.fixture(autouse=True)
+def _isolated_trace_cache(tmp_path_factory, monkeypatch):
+    """Point the trace cache at a session-private directory.
+
+    Shared across the whole bench session (so warm-cache benches and
+    repeated figures reuse entries) but never the developer's real cache.
+    """
+    cache_dir = tmp_path_factory.getbasetemp() / "trace-cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    return cache_dir
+
+
+@pytest.fixture
+def record_metrics():
+    """Return a callable that stores named measurements for
+    ``BENCH_metrics.json`` (``record("section", key=value, ...)``)."""
+
+    def _record(section, **values):
+        _session_records["metrics"].setdefault(section, {}).update(
+            {k: (round(v, 4) if isinstance(v, float) else v)
+             for k, v in values.items()})
+
+    return _record
 
 
 @pytest.fixture
@@ -68,6 +94,8 @@ def pytest_sessionfinish(session, exitstatus):
         "total_wall_s": round(sum(b["duration_s"] for b in benches.values()), 4),
         "benches": dict(sorted(benches.items())),
         "archived": sorted(set(_session_records["archived"])),
+        "metrics": {k: dict(sorted(v.items()))
+                    for k, v in sorted(_session_records["metrics"].items())},
     }
     METRICS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     log.info("wrote %s (%d benches)", METRICS_PATH, len(benches))

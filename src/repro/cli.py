@@ -11,6 +11,10 @@ Subcommands:
   profile-style accuracy comparison over one benchmark.
 * ``repro simulate <benchmark> [--length N] [--vp NAME] [--speculate]`` —
   run the cycle-level OOO core and report IPC and machine statistics.
+* ``repro run-all [--experiments a,b] [--jobs N] [--out-dir DIR]`` — run
+  the whole experiment registry, fanned across worker processes.
+* ``repro cache stats|warm|clear`` — inspect, populate, or empty the
+  on-disk trace cache (docs/PERFORMANCE.md).
 
 Every subcommand accepts the shared telemetry flags (docs/TELEMETRY.md):
 ``--metrics-out FILE`` writes a JSON run manifest (``-`` streams it to
@@ -23,11 +27,17 @@ a single-line progress display on a TTY (silent when piped).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Dict, List, Optional
 
 from .core import GDiffPredictor, HybridGDiffPredictor
-from .harness import EXPERIMENTS, run_experiment, run_value_prediction
+from .harness import (
+    EXPERIMENTS,
+    run_experiment,
+    run_experiments,
+    run_value_prediction,
+)
 from .pipeline import (
     HGVQAdapter,
     LocalPredictorAdapter,
@@ -52,6 +62,7 @@ from .telemetry import (
     configure_logging,
     get_logger,
 )
+from .trace.cache import cache_enabled, default_cache
 from .trace.workloads import BENCHMARKS, get
 
 log = get_logger("repro.cli")
@@ -339,6 +350,102 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_experiments(spec: Optional[str]) -> List[str]:
+    if not spec:
+        return sorted(EXPERIMENTS)
+    names = [e.strip() for e in spec.split(",") if e.strip()]
+    unknown = [e for e in names if e not in EXPERIMENTS]
+    if unknown:
+        raise SystemExit(f"unknown experiment(s): {unknown}; "
+                         f"choose from {sorted(EXPERIMENTS)}")
+    return names
+
+
+def cmd_run_all(args: argparse.Namespace) -> int:
+    tele = _Telemetry(args, "run-all")
+    names = _parse_experiments(args.experiments)
+    common: Dict[str, object] = {}
+    if args.length:
+        common["length"] = args.length
+    benchmarks = _parse_benchmarks(args.bench)
+    kwargs_for: Dict[str, Dict] = {}
+    if benchmarks:
+        # fig12 takes a single ``bench``, not a benchmark list.
+        kwargs_for = {name: {"benchmarks": benchmarks}
+                      for name in names if name != "fig12"}
+    progress = tele.progress("run-all: ")
+    log.info("running %d experiments with jobs=%s", len(names),
+             args.jobs or "auto")
+    with tele.timer("run_all") as span:
+        results = run_experiments(
+            names,
+            max_workers=args.jobs,
+            common_kwargs=common,
+            kwargs_for=kwargs_for,
+            registry=tele.registry,
+            on_progress=progress,
+        )
+        span.items = len(results)
+    if progress is not None:
+        progress.close()
+    out = tele.human
+    for name in names:
+        print(results[name].render(), file=out)
+        print("", file=out)
+    if args.out_dir:
+        import os
+
+        os.makedirs(args.out_dir, exist_ok=True)
+        for name, result in results.items():
+            path = os.path.join(args.out_dir, f"{name}.txt")
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(result.render() + "\n")
+            with open(os.path.join(args.out_dir, f"{name}.json"), "w",
+                      encoding="utf-8") as fh:
+                json.dump(result.as_dict(), fh, indent=2)
+        print(f"saved {len(results)} experiments to {args.out_dir}/",
+              file=out)
+    tele.add("experiments",
+             {name: result.as_dict() for name, result in results.items()})
+    tele.finish()
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    tele = _Telemetry(args, "cache")
+    cache = default_cache(metrics=tele.registry)
+    out = tele.human
+    if args.action == "stats":
+        stats = cache.stats()
+        enabled = "enabled" if cache_enabled() else "disabled (REPRO_CACHE=0)"
+        print(f"trace cache at {stats['root']} ({enabled})", file=out)
+        print(f"  entries: {stats['entries']}", file=out)
+        print(f"  bytes  : {stats['bytes']:,}", file=out)
+        for entry in stats["files"]:
+            print(f"    {entry['name']:56s} {entry['bytes']:>12,}", file=out)
+        tele.add("cache", stats)
+    elif args.action == "warm":
+        benchmarks = _parse_benchmarks(args.bench) or list(BENCHMARKS)
+        progress = tele.progress("cache warm: ")
+        with tele.timer("cache_warm") as span:
+            outcome = cache.warm(benchmarks, args.length,
+                                 code_copies=args.code_copies,
+                                 on_progress=progress)
+            span.items = len(outcome)
+        if progress is not None:
+            progress.close()
+        for name, was_hit in outcome:
+            print(f"  {name:8s} {'hit' if was_hit else 'generated'}",
+                  file=out)
+        tele.add("cache", cache.stats())
+    elif args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cache entries from {cache.root}", file=out)
+        tele.add("cache", {"removed": removed, "root": str(cache.root)})
+    tele.finish()
+    return 0
+
+
 def _sample_rate(text: str) -> float:
     """argparse type for ``--trace-sample``: a float within [0, 1]."""
     try:
@@ -412,6 +519,37 @@ def build_parser() -> argparse.ArgumentParser:
                                     "gdiff-hgvq)")
     p_sim.add_argument("--speculate", action="store_true",
                        help="break dependencies on confident predictions")
+
+    p_all = sub.add_parser("run-all", parents=[telemetry],
+                           help="run the experiment registry in parallel")
+    p_all.add_argument("--experiments",
+                       help="comma-separated experiment subset "
+                            "(default: all)")
+    p_all.add_argument("--jobs", type=int, default=None,
+                       help="worker processes (default: all cores; "
+                            "1 = serial)")
+    p_all.add_argument("--length", type=int, default=None,
+                       help="trace length per benchmark")
+    p_all.add_argument("--bench", help="comma-separated benchmark subset")
+    p_all.add_argument("--out-dir",
+                       help="save each experiment's table (.txt) and data "
+                            "(.json) here")
+
+    # Telemetry flags live on the leaf action parsers only: sharing the
+    # parent with ``p_cache`` would let the leaf's defaults overwrite
+    # flags given before the action word.
+    p_cache = sub.add_parser("cache",
+                             help="manage the on-disk trace cache")
+    cache_sub = p_cache.add_subparsers(dest="action", required=True)
+    cache_sub.add_parser("stats", parents=[telemetry],
+                         help="entry count, sizes, hit/miss counters")
+    p_warm = cache_sub.add_parser("warm", parents=[telemetry],
+                                  help="pre-generate benchmark traces")
+    p_warm.add_argument("--length", type=int, default=100_000)
+    p_warm.add_argument("--code-copies", type=int, default=1)
+    p_warm.add_argument("--bench", help="comma-separated benchmark subset")
+    cache_sub.add_parser("clear", parents=[telemetry],
+                         help="delete every cache entry")
     return parser
 
 
@@ -425,8 +563,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace": cmd_trace,
         "predict": cmd_predict,
         "simulate": cmd_simulate,
+        "run-all": cmd_run_all,
+        "cache": cmd_cache,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # Reader closed early (e.g. `repro run-all | head`): the Unix
+        # convention is a silent exit, not a traceback.  Point stdout at
+        # devnull so interpreter shutdown doesn't re-raise on flush.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 128 + 13  # 128 + SIGPIPE
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

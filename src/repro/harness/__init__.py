@@ -3,6 +3,7 @@ ASCII reporting that prints the same rows/series the paper's tables and
 figures report."""
 
 from .experiments import EXPERIMENTS, run_experiment
+from .parallel import default_workers, parallel_map, run_experiments
 from .report import ExperimentResult
 from .runner import (
     run_address_prediction,
@@ -16,5 +17,8 @@ __all__ = [
     "warm_then_measure",
     "EXPERIMENTS",
     "run_experiment",
+    "run_experiments",
+    "parallel_map",
+    "default_workers",
     "ExperimentResult",
 ]

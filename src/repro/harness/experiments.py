@@ -39,7 +39,8 @@ from ..pipeline.vp import (
 from ..predictors.dfcm import DFCMPredictor
 from ..predictors.markov import MarkovPredictor
 from ..predictors.stride import StridePredictor
-from ..trace.workloads import BENCHMARKS, get
+from ..trace.cache import cached_trace
+from ..trace.workloads import BENCHMARKS
 from .report import ExperimentResult
 from .runner import run_address_prediction, run_value_prediction
 
@@ -86,7 +87,7 @@ def fig8(length: int = PROFILE_LENGTH,
         notes=["paper averages: stride 57%, DFCM 64%, gdiff(q=8) 73%"],
     )
     for bench in benchmarks or BENCHMARKS:
-        trace = get(bench).trace(length)
+        trace = cached_trace(bench, length)
         predictors = {
             "stride": StridePredictor(entries=None),
             "dfcm": DFCMPredictor(order=4, l1_entries=None),
@@ -126,7 +127,7 @@ def fig9(length: int = PROFILE_LENGTH,
                "sharply below 8K"],
     )
     for bench in benchmarks or BENCHMARKS:
-        trace = get(bench).trace(length, code_copies=code_copies)
+        trace = cached_trace(bench, length, code_copies=code_copies)
         row = []
         for size in FIG9_TABLE_SIZES:
             predictor = GDiffPredictor(order=8, entries=size,
@@ -164,7 +165,7 @@ def fig10(length: int = PROFILE_LENGTH,
         notes=["paper: average 73% at T=0 falling to 52% at T=16"],
     )
     for bench in benchmarks or BENCHMARKS:
-        trace = get(bench).trace(length)
+        trace = cached_trace(bench, length)
         row = []
         for delay in FIG10_DELAYS:
             predictor = GDiffPredictor(order=order, entries=None, delay=delay)
@@ -187,7 +188,7 @@ def fig12(length: int = PIPELINE_LENGTH,
     motivating speculative (pre-retire) GVQ updates.
     """
     core = OutOfOrderCore(track_value_delay=True)
-    sim = core.run(get(bench).trace(length, code_copies=PIPELINE_COPIES))
+    sim = core.run(cached_trace(bench, length, code_copies=PIPELINE_COPIES))
     histogram = sim.value_delay_histogram
     total = sum(histogram.values()) or 1
     result = ExperimentResult(
@@ -224,11 +225,12 @@ def _pipeline_capability(
                               kinds={c: "rate" for c in columns[1:]},
                               notes=notes)
     for bench in benchmarks or BENCHMARKS:
+        trace = cached_trace(bench, length, code_copies=PIPELINE_COPIES)
         row: List[float] = []
         for factory in adapters.values():
             adapter = factory()
             core = OutOfOrderCore(value_predictor=adapter, speculate=False)
-            core.run(get(bench).trace(length, code_copies=PIPELINE_COPIES))
+            core.run(trace)
             row += [adapter.stats.accuracy, adapter.stats.coverage]
         result.add_row(bench, *row)
     result.add_row(
@@ -317,7 +319,7 @@ def fig18(length: int = PROFILE_LENGTH,
                "20%/69%"],
     )
     for bench in benchmarks or BENCHMARKS:
-        trace = get(bench).trace(length)
+        trace = cached_trace(bench, length)
         predictors = {
             "ls": StridePredictor(entries=4096),
             "gs": GDiffPredictor(order=32, entries=4096),
@@ -361,7 +363,8 @@ def table2(length: int = PIPELINE_LENGTH,
     for bench in benchmarks or BENCHMARKS:
         core = OutOfOrderCore(
             config=config if config is not None else great_latency_config())
-        sim = core.run(get(bench).trace(length, code_copies=PIPELINE_COPIES))
+        sim = core.run(cached_trace(bench, length,
+                                    code_copies=PIPELINE_COPIES))
         result.add_row(bench, sim.ipc, sim.dcache_miss_rate,
                        sim.branch_mispredict_rate)
     ipcs = result.column("ipc")
@@ -400,14 +403,13 @@ def fig19(length: int = PIPELINE_LENGTH,
     )
     speedups: Dict[str, List[float]] = {name: [] for name in adapters}
     for bench in benchmarks or BENCHMARKS:
-        baseline = OutOfOrderCore(config=great_latency_config()).run(
-            get(bench).trace(length, code_copies=PIPELINE_COPIES))
+        trace = cached_trace(bench, length, code_copies=PIPELINE_COPIES)
+        baseline = OutOfOrderCore(config=great_latency_config()).run(trace)
         row: List[float] = [baseline.ipc]
         for name, factory in adapters.items():
             core = OutOfOrderCore(config=great_latency_config(),
                                   value_predictor=factory(), speculate=True)
-            sim = core.run(get(bench).trace(length,
-                                            code_copies=PIPELINE_COPIES))
+            sim = core.run(trace)
             speedup = sim.ipc / baseline.ipc - 1.0
             speedups[name].append(speedup)
             row.append(speedup)

@@ -1,0 +1,186 @@
+"""Parallel experiment execution: fan the registry out across cores.
+
+The figure suite is embarrassingly parallel — every experiment (and every
+per-workload body inside one) is an independent pure function of its
+arguments — so the driver here runs them through a
+:class:`~concurrent.futures.ProcessPoolExecutor`, ships each worker's
+:class:`~repro.telemetry.MetricsRegistry` snapshot back as a plain dict,
+and merges the snapshots into the caller's registry for one consolidated
+manifest.
+
+Determinism is a hard requirement: a worker computes *exactly* what the
+serial path computes (same experiment function, same arguments, fresh
+predictor state), so parallel runs reproduce the serial tables bit for bit
+(asserted by ``tests/test_parallel.py``).  Degradation is graceful: one
+worker, one experiment, or any pool-level failure (a crashed worker, a
+sandbox that forbids subprocesses) falls back to in-process serial
+execution with the same results — partial parallel metrics are discarded
+first so nothing is double-counted.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..telemetry import MetricsRegistry, get_logger
+from .experiments import run_experiment
+from .report import ExperimentResult
+
+log = get_logger("repro.harness.parallel")
+
+#: Exceptions that mean "the pool is unusable", not "the experiment is
+#: broken" — these trigger the serial fallback instead of propagating.
+#: AttributeError/TypeError are what pickle raises for local or otherwise
+#: unpicklable callables; a genuine experiment bug of the same type still
+#: surfaces, because the fallback re-runs the real body in-process.
+POOL_FAILURES = (BrokenProcessPool, OSError, PermissionError,
+                 pickle.PicklingError, AttributeError, TypeError)
+
+
+def default_workers() -> int:
+    """Worker count: every core the scheduler lets this process use."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _run_one(name: str, kwargs: Dict) -> Tuple[ExperimentResult, Dict]:
+    """Worker body: one experiment, one fresh registry, shipped as dicts."""
+    registry = MetricsRegistry()
+    result = run_experiment(name, registry=registry, **kwargs)
+    return result, registry.as_dict()
+
+
+def _crashing_worker(name: str, kwargs: Dict):  # pragma: no cover - subprocess
+    """Fault-injection worker for the crash-fallback tests: dies hard,
+    taking its pool with it (the serial fallback never runs it)."""
+    os._exit(13)
+
+
+def run_experiments(
+    names: Sequence[str],
+    max_workers: Optional[int] = None,
+    *,
+    kwargs_for: Optional[Dict[str, Dict]] = None,
+    common_kwargs: Optional[Dict] = None,
+    registry: Optional[MetricsRegistry] = None,
+    on_progress: Optional[Callable[[int, Optional[int]], None]] = None,
+    pool_worker: Callable[[str, Dict], Tuple[ExperimentResult, Dict]] = _run_one,
+) -> Dict[str, ExperimentResult]:
+    """Run experiments from the registry, fanned out across processes.
+
+    Args:
+        names: experiment ids, in the order results should be returned.
+        max_workers: pool size; ``None`` uses every available core, ``1``
+            (or a single experiment) runs serially in-process.
+        kwargs_for: per-experiment keyword overrides ``{name: {...}}``.
+        common_kwargs: keywords passed to every experiment (e.g.
+            ``{"length": 20000}``).
+        registry: optional driver-side registry; each worker's metrics
+            snapshot is merged into it (only after the whole run commits,
+            so a fallback never double-counts).
+        on_progress: ``(completed, total)`` callback as experiments finish.
+        pool_worker: the function executed in pool workers (overridable
+            for fault-injection tests); the serial path always runs the
+            real experiment body.
+
+    Returns:
+        ``{name: ExperimentResult}`` in *names* order.
+    """
+    names = list(names)
+    kwargs_for = kwargs_for or {}
+    common = common_kwargs or {}
+
+    def kw(name: str) -> Dict:
+        merged = dict(common)
+        merged.update(kwargs_for.get(name, {}))
+        return merged
+
+    if max_workers is None:
+        max_workers = default_workers()
+    total = len(names)
+
+    if max_workers > 1 and total > 1:
+        results: Dict[str, ExperimentResult] = {}
+        snapshots: List[Dict] = []
+        try:
+            with ProcessPoolExecutor(
+                    max_workers=min(max_workers, total)) as pool:
+                futures = {name: pool.submit(pool_worker, name, kw(name))
+                           for name in names}
+                done = 0
+                for name in names:
+                    result, snapshot = futures[name].result()
+                    results[name] = result
+                    snapshots.append(snapshot)
+                    done += 1
+                    if on_progress is not None:
+                        on_progress(done, total)
+        except POOL_FAILURES as exc:
+            log.warning("experiment pool failed (%s: %s); "
+                        "falling back to serial execution",
+                        type(exc).__name__, exc)
+        else:
+            if registry is not None:
+                for snapshot in snapshots:
+                    registry.merge_dict(snapshot)
+            return {name: results[name] for name in names}
+
+    results = {}
+    snapshots = []
+    done = 0
+    for name in names:
+        result, snapshot = _run_one(name, kw(name))
+        results[name] = result
+        snapshots.append(snapshot)
+        done += 1
+        if on_progress is not None:
+            on_progress(done, total)
+    if registry is not None:
+        for snapshot in snapshots:
+            registry.merge_dict(snapshot)
+    return results
+
+
+def parallel_map(
+    fn: Callable,
+    items: Iterable,
+    max_workers: Optional[int] = None,
+    on_progress: Optional[Callable[[int, Optional[int]], None]] = None,
+) -> List:
+    """``[fn(item) for item in items]`` across processes, order preserved.
+
+    The workhorse for fanning per-workload benchmark bodies out: *fn* must
+    be a picklable module-level callable.  Falls back to an in-process
+    loop on one worker, one item, or any pool failure.
+    """
+    items = list(items)
+    if max_workers is None:
+        max_workers = default_workers()
+    total = len(items)
+    if max_workers > 1 and total > 1:
+        try:
+            with ProcessPoolExecutor(
+                    max_workers=min(max_workers, total)) as pool:
+                futures = [pool.submit(fn, item) for item in items]
+                results = []
+                for i, future in enumerate(futures):
+                    results.append(future.result())
+                    if on_progress is not None:
+                        on_progress(i + 1, total)
+                return results
+        except POOL_FAILURES as exc:
+            log.warning("parallel_map pool failed (%s: %s); "
+                        "falling back to serial execution",
+                        type(exc).__name__, exc)
+    results = []
+    for i, item in enumerate(items):
+        results.append(fn(item))
+        if on_progress is not None:
+            on_progress(i + 1, total)
+    return results

@@ -6,10 +6,21 @@ relevant instruction to every predictor at its "dispatch", and train with
 the actual outcome at its "write-back" — which, in a profile run, happens
 immediately.  Pipeline-timed evaluation (value delay, SGVQ, HGVQ, IPC)
 lives in :mod:`repro.pipeline`.
+
+Fast path: a :class:`~repro.trace.packed.PackedTrace` exposes its
+value-producing ``(pc, value)`` (and load ``(pc, addr)``) streams as
+precomputed columns, so an un-instrumented profile run walks two flat
+arrays per predictor instead of dereferencing one dataclass per dynamic
+instruction.  The fast loops perform *identical* accounting to the generic
+loop — same :class:`PredictionStats` to the last counter (asserted by
+``tests/test_packed.py``) — and the generic loop remains the only path
+whenever telemetry, events, progress callbacks or the confidence gate
+need per-instruction interleaving.
 """
 
 from __future__ import annotations
 
+import itertools
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from ..predictors.base import PredictionStats, ValuePredictor
@@ -20,6 +31,30 @@ from ..trace.isa import Instruction, OpClass
 #: Value-producing instructions per windowed-accuracy sample
 #: (``harness.window_accuracy.*`` series).
 DEFAULT_WINDOW = 8192
+
+
+def _profile_pairs(predictor: ValuePredictor, pcs, values,
+                   stats: PredictionStats) -> None:
+    """Tight un-gated profile loop over packed ``(pc, value)`` columns.
+
+    Runs one predictor over the whole stream with its methods bound once
+    and the accounting held in locals; predictors are self-contained, so
+    per-predictor passes see exactly the state they would interleaved.
+    """
+    predict = predictor.predict
+    update = predictor.update
+    predictions = 0
+    correct = 0
+    for pc, actual in zip(pcs, values):
+        predicted = predict(pc)
+        if predicted is not None:
+            predictions += 1
+            if predicted == actual:
+                correct += 1
+        update(pc, actual)
+    stats.attempts += len(pcs)
+    stats.predictions += predictions
+    stats.correct += correct
 
 
 def run_value_prediction(
@@ -61,7 +96,18 @@ def run_value_prediction(
         {predictor name: PredictionStats}.
     """
     stats = {name: PredictionStats() for name in predictors}
+    if (not gated and metrics is None and events is None
+            and on_progress is None and hasattr(trace, "value_pairs")):
+        pcs, values = trace.value_pairs()
+        for name, predictor in predictors.items():
+            _profile_pairs(predictor, pcs, values, stats[name])
+        return stats
     confidence = {name: ConfidenceTable() if gated else None for name in predictors}
+    # Per-predictor memo of each confidence slot's current gate state:
+    # ConfidenceTable.train returns the post-train state, so the gate is
+    # probed at most once per slot for its whole lifetime instead of twice
+    # per (instruction, predictor).
+    conf_state: Dict[str, Dict[int, bool]] = {name: {} for name in predictors}
     items = list(predictors.items())
     if total is None and hasattr(trace, "__len__"):
         total = len(trace)
@@ -99,12 +145,19 @@ def run_value_prediction(
             predicted = predictor.predict(pc)
             conf = confidence[name]
             if conf is not None:
-                is_confident = predicted is not None and conf.is_confident(pc)
+                state = conf_state[name]
+                slot = conf.index(pc)
+                confident_now = state.get(slot)
+                if confident_now is None:
+                    confident_now = conf.is_confident(pc)
+                    state[slot] = confident_now
+                is_confident = predicted is not None and confident_now
                 correct = stats[name].record(predicted, actual, is_confident)
                 if predicted is not None:
-                    conf.train(pc, predicted == actual)
-                    if track and conf.is_confident(pc) != is_confident:
-                        (gained if not is_confident else lost)[name].inc()
+                    confident_after = conf.train(pc, predicted == actual)
+                    state[slot] = confident_after
+                    if track and confident_after != confident_now:
+                        (gained if not confident_now else lost)[name].inc()
             else:
                 is_confident = False
                 correct = stats[name].record(predicted, actual)
@@ -143,6 +196,36 @@ def run_value_prediction(
     return stats
 
 
+def _address_pairs(predictor: ValuePredictor, conf: Optional[ConfidenceTable],
+                   pcs, addrs, stats: PredictionStats) -> None:
+    """Tight Section 6 loop over packed load ``(pc, addr)`` columns."""
+    update = predictor.update
+    record = stats.record
+    if conf is None:
+        predict_confident = predictor.predict_confident
+        for pc, actual in zip(pcs, addrs):
+            predicted, is_confident = predict_confident(pc)
+            record(predicted, actual, is_confident)
+            update(pc, actual)
+        return
+    predict = predictor.predict
+    train = conf.train
+    index = conf.index
+    is_conf = conf.is_confident
+    state: Dict[int, bool] = {}
+    for pc, actual in zip(pcs, addrs):
+        predicted = predict(pc)
+        slot = index(pc)
+        confident_now = state.get(slot)
+        if confident_now is None:
+            confident_now = is_conf(pc)
+        record(predicted, actual, predicted is not None and confident_now)
+        if predicted is not None:
+            confident_now = train(pc, predicted == actual)
+        state[slot] = confident_now
+        update(pc, actual)
+
+
 def run_address_prediction(
     trace: Iterable[Instruction],
     predictors: Mapping[str, ValuePredictor],
@@ -163,6 +246,8 @@ def run_address_prediction(
             a D-cache model to evaluate *missing* loads only — the
             predictors then see, learn from, and are scored on exactly the
             miss-address stream, the stream a prefetcher would act on).
+            A miss filter forces the generic instruction-object loop (the
+            filter inspects instructions and is usually stateful).
 
     Returns:
         {predictor name: PredictionStats}.
@@ -172,6 +257,12 @@ def run_address_prediction(
         name: None if isinstance(p, MarkovPredictor) else ConfidenceTable()
         for name, p in predictors.items()
     }
+    if miss_filter is None and hasattr(trace, "load_pairs"):
+        pcs, addrs = trace.load_pairs()
+        for name, predictor in predictors.items():
+            _address_pairs(predictor, confidence[name], pcs, addrs,
+                           stats[name])
+        return stats
     items = list(predictors.items())
     for insn in trace:
         if insn.op is not OpClass.LOAD:
@@ -205,19 +296,18 @@ def warm_then_measure(
     The paper skips 200M-500M instructions before measuring; we warm the
     predictors on the first *warmup* instructions (training but not
     scoring) and report statistics over the next *measure* instructions.
+    Both phases stream straight off the source iterator — nothing is
+    buffered, so arbitrarily long (even endless) workload generators are
+    fine.
 
     Args:
-        trace_factory: callable returning an instruction iterator.
+        trace_factory: callable returning an instruction iterator, or an
+            already-materialised iterable (e.g. a :class:`Trace` /
+            :class:`~repro.trace.packed.PackedTrace`), which is consumed
+            in place without re-buffering.
     """
-    stream = trace_factory()
-    warm: List[Instruction] = []
-    body: List[Instruction] = []
-    for i, insn in enumerate(stream):
-        if i < warmup:
-            warm.append(insn)
-        elif i < warmup + measure:
-            body.append(insn)
-        else:
-            break
-    run_value_prediction(warm, predictors, gated=False)
-    return run_value_prediction(body, predictors, gated=gated)
+    stream = iter(trace_factory() if callable(trace_factory) else trace_factory)
+    run_value_prediction(itertools.islice(stream, warmup), predictors,
+                         gated=False)
+    return run_value_prediction(itertools.islice(stream, measure), predictors,
+                                gated=gated)

@@ -53,12 +53,21 @@ class ConfidenceTable:
         entry = self._table.lookup(pc)
         return entry if entry is not None else 0
 
+    def index(self, pc: int) -> int:
+        """The table slot *pc* maps to (PCs that alias share a counter)."""
+        return self._table.index(pc)
+
     def is_confident(self, pc: int) -> bool:
         """True when the counter for *pc* meets the confidence threshold."""
         return self.value(pc) >= self.threshold
 
-    def train(self, pc: int, correct: bool) -> None:
-        """Apply the +up / -down saturating update for one outcome."""
+    def train(self, pc: int, correct: bool) -> bool:
+        """Apply the +up / -down saturating update for one outcome.
+
+        Returns the *post-train* confident state, so hot loops can track
+        gate transitions (and the next lookup) without re-probing the
+        table.
+        """
         idx = self._table.index(pc)
         current = self._table._data.get(idx, 0)
         if correct:
@@ -66,6 +75,7 @@ class ConfidenceTable:
         else:
             current = max(0, current - self.down)
         self._table._data[idx] = current
+        return current >= self.threshold
 
     def reset(self) -> None:
         self._table.clear()

@@ -212,6 +212,40 @@ class MetricsRegistry:
         """
         return _TimerSpan(self, name)
 
+    # -- merging ---------------------------------------------------------
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold another registry's contents into this one (and return self).
+
+        Counters, histograms and phase timings accumulate; series are
+        concatenated; gauges take the other registry's value (last writer
+        wins).  This is how the parallel experiment runner folds each
+        worker's registry snapshot into the driver's manifest.
+        """
+        for name, counter in other.counters.items():
+            self.counter(name).inc(counter.value)
+        for name, gauge in other.gauges.items():
+            self.gauge(name).set(gauge.value)
+        for name, hist in other.histograms.items():
+            mine = self.histogram(name, hist.bucket_width)
+            buckets = mine.buckets
+            for key, count in hist.buckets.items():
+                buckets[key] = buckets.get(key, 0) + count
+            mine.count += hist.count
+            mine.total += hist.total
+        for name, series in other.series.items():
+            self.series_of(name).points.extend(series.points)
+        for name, phase in other.phases.items():
+            mine = self.phase(name)
+            mine.wall_s += phase.wall_s
+            mine.calls += phase.calls
+            mine.items += phase.items
+        return self
+
+    def merge_dict(self, data: Dict[str, Any]) -> "MetricsRegistry":
+        """Merge an :meth:`as_dict` snapshot (e.g. shipped from a worker
+        process) into this registry."""
+        return self.merge(MetricsRegistry.from_dict(data))
+
     # -- deferred collection --------------------------------------------
     def add_collector(self, fn: Callable[["MetricsRegistry"], None]) -> None:
         self._collectors.append(fn)

@@ -7,6 +7,7 @@ dynamic-instruction record, :mod:`repro.trace.trace` the trace containers,
 """
 
 from .isa import NUM_REGS, Instruction, OpClass, branch, ialu, load, store
+from .packed import PackedTrace, pack_trace
 from .trace import Trace, TraceStats, load_address_stream, take, value_stream
 
 __all__ = [
@@ -19,6 +20,8 @@ __all__ = [
     "branch",
     "Trace",
     "TraceStats",
+    "PackedTrace",
+    "pack_trace",
     "take",
     "value_stream",
     "load_address_stream",

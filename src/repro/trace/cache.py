@@ -1,0 +1,255 @@
+"""On-disk trace cache: generate each workload trace once, replay forever.
+
+Every experiment used to regenerate its synthetic trace from scratch — the
+single most expensive step of a profile run.  The cache materialises a
+workload once, serialises it in the binary packed format (see
+:mod:`repro.trace.io`), and hands every later run a
+:class:`~repro.trace.packed.PackedTrace` in milliseconds.
+
+Entries are content-keyed by ``(workload, seed, length, code_copies,
+format version)``; anything that changes the generated stream changes the
+key, and bumping :data:`~repro.trace.io.PACKED_FORMAT_VERSION` invalidates
+every existing entry.  Integrity is checked on load (magic, version,
+per-column CRC, count, end marker); a corrupt or truncated entry is
+silently discarded and regenerated, never served.
+
+Configuration:
+
+* ``REPRO_CACHE_DIR`` — cache directory (default
+  ``~/.cache/repro-traces``).
+* ``REPRO_CACHE=0`` — disable the cache entirely (experiments fall back
+  to in-memory generation).
+
+Telemetry: an attached :class:`~repro.telemetry.MetricsRegistry` receives
+``cache.hit`` / ``cache.miss`` / ``cache.store`` / ``cache.invalid``
+counters, ``cache.bytes_written`` / ``cache.bytes_read``, and — from
+:meth:`TraceCache.stats` — ``cache.entries`` / ``cache.bytes`` gauges.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from itertools import islice
+
+from ..telemetry import get_logger
+from .io import PACKED_FORMAT_VERSION, TraceFormatError, load_packed, save_packed
+from .packed import PackedTrace
+from .synthetic import WorkloadSpec
+
+log = get_logger("repro.trace.cache")
+
+#: File extension of cache entries.
+ENTRY_SUFFIX = ".rpt"
+
+
+def cache_enabled() -> bool:
+    """True unless ``REPRO_CACHE=0`` (or empty) is set in the environment."""
+    return os.environ.get("REPRO_CACHE", "1") not in ("0", "")
+
+
+def cache_root() -> Path:
+    """The configured cache directory (not created until first write)."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-traces"
+
+
+def _resolve(workload: Union[str, WorkloadSpec]) -> WorkloadSpec:
+    if isinstance(workload, WorkloadSpec):
+        return workload
+    from .workloads import get
+
+    return get(workload)
+
+
+class TraceCache:
+    """Load-or-generate store of packed workload traces.
+
+    Args:
+        root: cache directory; defaults to :func:`cache_root`.
+        metrics: optional :class:`~repro.telemetry.MetricsRegistry` for the
+            hit/miss/size counters.
+    """
+
+    def __init__(self, root: Optional[Union[str, Path]] = None, metrics=None):
+        self.root = Path(root) if root is not None else cache_root()
+        self.metrics = metrics
+
+    # -- keying ----------------------------------------------------------
+    @staticmethod
+    def key(name: str, length: int, seed: int, code_copies: int) -> str:
+        """Content digest of one cache entry's identity."""
+        ident = f"{name}|{seed}|{length}|{code_copies}|v{PACKED_FORMAT_VERSION}"
+        return hashlib.sha256(ident.encode("ascii")).hexdigest()[:12]
+
+    def entry_path(self, name: str, length: int, seed: int,
+                   code_copies: int) -> Path:
+        digest = self.key(name, length, seed, code_copies)
+        return self.root / (
+            f"{name}-L{length}-s{seed}-c{code_copies}"
+            f"-v{PACKED_FORMAT_VERSION}-{digest}{ENTRY_SUFFIX}"
+        )
+
+    def _count(self, counter: str, amount: int = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(f"cache.{counter}").inc(amount)
+
+    # -- the core operation ----------------------------------------------
+    def load_or_generate(self, workload: Union[str, WorkloadSpec],
+                         length: int, seed: Optional[int] = None,
+                         code_copies: int = 1) -> PackedTrace:
+        """Return the packed trace for *workload*, from disk when possible.
+
+        A miss generates the trace (identical stream to
+        :meth:`WorkloadSpec.trace`), stores it, and returns the packed
+        form; an unreadable entry counts as ``cache.invalid`` and is
+        regenerated in place.
+        """
+        spec = _resolve(workload)
+        effective_seed = spec.seed if seed is None else seed
+        path = self.entry_path(spec.name, length, effective_seed, code_copies)
+        if path.exists():
+            try:
+                packed = load_packed(path)
+                if len(packed) != length:
+                    raise TraceFormatError(
+                        f"{path}: entry holds {len(packed)} instructions, "
+                        f"key promised {length}")
+                self._count("hit")
+                self._count("bytes_read", path.stat().st_size)
+                return packed
+            except (TraceFormatError, OSError) as exc:
+                log.warning("discarding unreadable cache entry %s: %s",
+                            path, exc)
+                self._count("invalid")
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        self._count("miss")
+        stream = spec.generate(seed=seed, code_copies=code_copies)
+        packed = PackedTrace.from_instructions(islice(stream, length),
+                                               name=spec.name)
+        self._store(packed, path)
+        return packed
+
+    def _store(self, packed: PackedTrace, path: Path) -> None:
+        """Atomically write one entry (concurrent writers never tear it)."""
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.root,
+                                       prefix=path.stem, suffix=".tmp")
+            os.close(fd)
+            try:
+                nbytes = save_packed(packed, tmp)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            self._count("store")
+            self._count("bytes_written", nbytes)
+            log.info("cached %s (%d instructions, %d bytes)",
+                     path.name, len(packed), nbytes)
+        except OSError as exc:
+            # A read-only or full cache directory must never fail the run.
+            log.warning("could not store cache entry %s: %s", path, exc)
+
+    # -- management ------------------------------------------------------
+    def warm(self, workloads: Iterable[Union[str, WorkloadSpec]],
+             length: int, seed: Optional[int] = None, code_copies: int = 1,
+             on_progress=None) -> List[Tuple[str, bool]]:
+        """Populate entries for *workloads*; returns ``(name, was_hit)``."""
+        outcome: List[Tuple[str, bool]] = []
+        names = list(workloads)
+        for i, workload in enumerate(names):
+            spec = _resolve(workload)
+            effective_seed = spec.seed if seed is None else seed
+            path = self.entry_path(spec.name, length, effective_seed,
+                                   code_copies)
+            hit = path.exists()
+            if not hit:
+                self.load_or_generate(spec, length, seed=seed,
+                                      code_copies=code_copies)
+            else:
+                self._count("hit")
+            outcome.append((spec.name, hit))
+            if on_progress is not None:
+                on_progress(i + 1, len(names))
+        return outcome
+
+    def entries(self) -> List[Tuple[str, int]]:
+        """``(filename, size_bytes)`` of every entry, sorted by name."""
+        if not self.root.is_dir():
+            return []
+        found = []
+        for path in sorted(self.root.glob(f"*{ENTRY_SUFFIX}")):
+            try:
+                found.append((path.name, path.stat().st_size))
+            except OSError:
+                continue
+        return found
+
+    def stats(self) -> Dict[str, object]:
+        """Entry count, total size, per-entry listing, and this process's
+        hit/miss counters; mirrored into the metrics registry as gauges."""
+        entries = self.entries()
+        total = sum(size for _name, size in entries)
+        counters = {}
+        if self.metrics is not None:
+            self.metrics.gauge("cache.entries").set(len(entries))
+            self.metrics.gauge("cache.bytes").set(total)
+            counters = {
+                name: c.value for name, c in self.metrics.counters.items()
+                if name.startswith("cache.")
+            }
+        return {
+            "root": str(self.root),
+            "entries": len(entries),
+            "bytes": total,
+            "files": [{"name": name, "bytes": size}
+                      for name, size in entries],
+            "counters": counters,
+        }
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        removed = 0
+        for path in (self.root.glob(f"*{ENTRY_SUFFIX}")
+                     if self.root.is_dir() else ()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError as exc:
+                log.warning("could not remove %s: %s", path, exc)
+        return removed
+
+
+def default_cache(metrics=None) -> TraceCache:
+    """A cache rooted at the configured directory.
+
+    Constructed per call (it is stateless beyond the root path), so
+    environment changes — tests pointing ``REPRO_CACHE_DIR`` at a tmpdir —
+    always take effect.
+    """
+    return TraceCache(metrics=metrics)
+
+
+def cached_trace(workload: Union[str, WorkloadSpec], length: int,
+                 seed: Optional[int] = None, code_copies: int = 1,
+                 metrics=None):
+    """The experiment harness entry point: packed-and-cached when the
+    cache is enabled, plain in-memory generation otherwise."""
+    if cache_enabled():
+        return default_cache(metrics=metrics).load_or_generate(
+            workload, length, seed=seed, code_copies=code_copies)
+    spec = _resolve(workload)
+    return spec.trace(length, seed=seed, code_copies=code_copies)

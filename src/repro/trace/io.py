@@ -2,8 +2,11 @@
 
 Trace generation is deterministic, but regenerating a long workload for
 every experiment repeats work, and users reproducing results across
-machines want a stable artefact.  The format is a line-oriented text
-format (optionally gzip-compressed by file extension):
+machines want a stable artefact.  Two formats live here:
+
+**Text format** (``save_trace`` / ``load_trace`` / ``iter_trace``) — a
+line-oriented interchange format, optionally gzip-compressed by file
+extension:
 
 * header line: ``#repro-trace v1 <name>``
 * one line per instruction:
@@ -11,7 +14,23 @@ format (optionally gzip-compressed by file extension):
   with hexadecimal numbers, ``-`` for absent fields, srcs as
   comma-joined registers (or ``-``), and op as the OpClass name.
 
-The format round-trips every field of
+**Binary packed format** (``save_packed`` / ``load_packed``) — the
+on-disk twin of :class:`~repro.trace.packed.PackedTrace` used by the
+trace cache: each SoA column is struct-framed and zlib-compressed, with
+a magic/version header, the instruction count, a per-column CRC-32 and
+an end marker so corruption and truncation are detected before a single
+instruction is handed to an experiment.  Layout:
+
+* header: ``magic(8s) version(u16) flags(u16) count(u64)`` then the
+  trace name (``u16`` length + UTF-8 bytes); header flag bit 0 records
+  little-endian column data (big-endian hosts byte-swap on both sides).
+* per column (fixed order, :data:`repro.trace.packed.COLUMNS`):
+  ``typecode(u8) raw_nbytes(u64) comp_nbytes(u64) crc32(u32)`` followed
+  by ``comp_nbytes`` of zlib data.
+* trailer: ``magic(8s) count(u64)`` — a short read anywhere before this
+  marker is reported as truncation.
+
+Both formats round-trip every field of
 :class:`~repro.trace.isa.Instruction` exactly (property tested).
 """
 
@@ -19,13 +38,36 @@ from __future__ import annotations
 
 import gzip
 import io
+import struct
+import sys
+import zlib
+from array import array
 from pathlib import Path
 from typing import Iterable, Iterator, List, Union
 
 from .isa import Instruction, OpClass
+from .packed import COLUMNS, PackedTrace
 from .trace import Trace
 
 _HEADER_PREFIX = "#repro-trace v1"
+
+# -- binary packed format ----------------------------------------------------
+
+#: Bumping this invalidates every cached trace (the cache keys on it and
+#: the loader rejects mismatched files).
+PACKED_FORMAT_VERSION = 1
+
+PACKED_MAGIC = b"RPTRACE\x00"
+_PACKED_END = b"RPTEND\x00\x00"
+_HEADER = struct.Struct("<8sHHQ")
+_COLUMN = struct.Struct("<BQQL")
+_TRAILER = struct.Struct("<8sQ")
+_NAME_LEN = struct.Struct("<H")
+_FLAG_LITTLE = 0x1
+
+
+class TraceFormatError(ValueError):
+    """A binary trace file is corrupt, truncated, or of the wrong version."""
 
 
 def _open(path: Union[str, Path], mode: str):
@@ -126,3 +168,100 @@ def load_trace(path: Union[str, Path]) -> Trace:
             if line:
                 instructions.append(_decode(line))
     return Trace(instructions, name=name)
+
+
+def save_packed(trace, path: Union[str, Path], name: str = "trace",
+                compresslevel: int = 1) -> int:
+    """Write a trace to *path* in the binary packed format.
+
+    *trace* may be a :class:`PackedTrace` (written directly) or any
+    instruction iterable (packed first).  Level-1 zlib wins nearly all of
+    the size at a fraction of the CPU of the default level — the cache is
+    read far more often than written, and decompression speed is level
+    independent.  Returns the number of bytes written.
+    """
+    if not isinstance(trace, PackedTrace):
+        trace = PackedTrace.from_instructions(trace, name=name)
+    columns = trace.columns()
+    count = len(trace)
+    name_bytes = trace.name.encode("utf-8")
+    flags = _FLAG_LITTLE if sys.byteorder == "little" else 0
+    written = 0
+    path = Path(path)
+    with open(path, "wb") as fh:
+        written += fh.write(_HEADER.pack(PACKED_MAGIC, PACKED_FORMAT_VERSION,
+                                         flags, count))
+        written += fh.write(_NAME_LEN.pack(len(name_bytes)))
+        written += fh.write(name_bytes)
+        for col, typecode in COLUMNS:
+            data = columns[col]
+            if sys.byteorder != "little":  # pragma: no cover - BE hosts
+                data = array(typecode, data)
+                data.byteswap()
+            raw = data.tobytes()
+            comp = zlib.compress(raw, compresslevel)
+            written += fh.write(_COLUMN.pack(ord(typecode), len(raw),
+                                             len(comp), zlib.crc32(raw)))
+            written += fh.write(comp)
+        written += fh.write(_TRAILER.pack(_PACKED_END, count))
+    return written
+
+
+def _read_exact(fh, nbytes: int, path, what: str) -> bytes:
+    data = fh.read(nbytes)
+    if len(data) != nbytes:
+        raise TraceFormatError(f"{path}: truncated packed trace "
+                               f"(short read in {what})")
+    return data
+
+
+def load_packed(path: Union[str, Path]) -> PackedTrace:
+    """Load a binary packed trace, verifying magic, version, CRCs and count.
+
+    Raises :class:`TraceFormatError` on any integrity failure so callers
+    (the trace cache in particular) can discard the file and regenerate.
+    """
+    path = Path(path)
+    with open(path, "rb") as fh:
+        header = _read_exact(fh, _HEADER.size, path, "header")
+        magic, version, flags, count = _HEADER.unpack(header)
+        if magic != PACKED_MAGIC:
+            raise TraceFormatError(f"{path}: not a packed repro trace")
+        if version != PACKED_FORMAT_VERSION:
+            raise TraceFormatError(
+                f"{path}: packed format v{version} != "
+                f"supported v{PACKED_FORMAT_VERSION}")
+        (name_len,) = _NAME_LEN.unpack(
+            _read_exact(fh, _NAME_LEN.size, path, "name"))
+        name = _read_exact(fh, name_len, path, "name").decode("utf-8")
+        columns = {}
+        for col, typecode in COLUMNS:
+            frame = _read_exact(fh, _COLUMN.size, path, f"column {col}")
+            tc, raw_len, comp_len, crc = _COLUMN.unpack(frame)
+            if tc != ord(typecode):
+                raise TraceFormatError(
+                    f"{path}: column {col} typecode mismatch")
+            comp = _read_exact(fh, comp_len, path, f"column {col}")
+            try:
+                raw = zlib.decompress(comp)
+            except zlib.error as exc:
+                raise TraceFormatError(
+                    f"{path}: column {col} corrupt: {exc}") from None
+            if len(raw) != raw_len or zlib.crc32(raw) != crc:
+                raise TraceFormatError(
+                    f"{path}: column {col} checksum mismatch")
+            data = array(typecode)
+            data.frombytes(raw)
+            little = bool(flags & _FLAG_LITTLE)
+            if little != (sys.byteorder == "little"):  # pragma: no cover
+                data.byteswap()
+            if len(data) != count:
+                raise TraceFormatError(
+                    f"{path}: column {col} holds {len(data)} entries, "
+                    f"header promised {count}")
+            columns[col] = data
+        trailer = _read_exact(fh, _TRAILER.size, path, "trailer")
+        end_magic, end_count = _TRAILER.unpack(trailer)
+        if end_magic != _PACKED_END or end_count != count:
+            raise TraceFormatError(f"{path}: bad end marker")
+    return PackedTrace(columns, name=name)

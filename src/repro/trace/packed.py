@@ -1,0 +1,358 @@
+"""Packed structure-of-arrays trace: the harness fast path.
+
+A :class:`PackedTrace` stores one column per instruction field in parallel
+``array`` columns instead of a list of :class:`~repro.trace.isa.Instruction`
+dataclasses.  A 100K-instruction trace shrinks from tens of megabytes of
+Python objects to a few flat buffers, slicing is a zero-copy view over the
+shared columns, and the profile runners can walk precomputed
+``(pc, value)`` / ``(pc, addr)`` column pairs instead of performing
+per-instruction attribute and property lookups.
+
+Field encoding (one entry per dynamic instruction):
+
+* ``pcs`` / ``values`` / ``addrs`` / ``targets`` — unsigned 64-bit machine
+  words (``array('Q')``); absent fields read 0 and are masked by *flags*.
+* ``ops`` — :class:`~repro.trace.isa.OpClass` value (``array('B')``).
+* ``flags`` — per-field presence bits plus the precomputed
+  ``produces_value`` bit (``array('B')``), so the hot loops test a single
+  integer AND instead of a three-attribute property.
+* ``dests`` / ``latency`` — small unsigned bytes (``array('B')``).
+* ``srcs`` — the source-register tuple packed into one 64-bit word:
+  the count in the low 4 bits, then each register in 6 bits (supports up
+  to 10 sources of up to 64 architectural registers — far beyond the
+  MIPS-like ISA modelled here).
+
+The class is API-compatible with :class:`~repro.trace.trace.Trace` for
+everything the harness and pipeline consume: ``len``, indexing, iteration
+(yielding real ``Instruction`` records built on demand), ``name`` and
+``stats``.  The serialised twin of this layout is the binary trace-cache
+format in :mod:`repro.trace.io`.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from .isa import Instruction, OpClass
+from .trace import Trace, TraceStats
+
+# Presence / derived-fact bits of the flags column.
+FLAG_DEST = 0x01
+FLAG_VALUE = 0x02
+FLAG_ADDR = 0x04
+FLAG_TAKEN = 0x08
+FLAG_TAKEN_TRUE = 0x10
+FLAG_TARGET = 0x20
+FLAG_PRODUCES = 0x40
+
+_WORD_LIMIT = 1 << 64
+_MAX_SRCS = 10
+_SRC_BITS = 6
+_SRC_MASK = (1 << _SRC_BITS) - 1
+
+#: Column names in serialisation order, with their array typecodes.  The
+#: binary cache format (trace/io.py) writes exactly these columns.
+COLUMNS: Tuple[Tuple[str, str], ...] = (
+    ("pcs", "Q"),
+    ("ops", "B"),
+    ("flags", "B"),
+    ("dests", "B"),
+    ("srcs", "Q"),
+    ("values", "Q"),
+    ("addrs", "Q"),
+    ("targets", "Q"),
+    ("latency", "B"),
+)
+
+
+def _check_word(value: int, what: str) -> int:
+    if not 0 <= value < _WORD_LIMIT:
+        raise ValueError(f"cannot pack {what}={value!r}: "
+                         "not an unsigned 64-bit machine word")
+    return value
+
+
+def pack_srcs(srcs: Tuple[int, ...]) -> int:
+    """Pack a source-register tuple into one 64-bit word."""
+    if len(srcs) > _MAX_SRCS:
+        raise ValueError(f"cannot pack {len(srcs)} source registers "
+                         f"(limit {_MAX_SRCS})")
+    word = len(srcs)
+    shift = 4
+    for reg in srcs:
+        if not 0 <= reg <= _SRC_MASK:
+            raise ValueError(f"cannot pack source register {reg!r}: "
+                             f"must be in [0, {_SRC_MASK}]")
+        word |= reg << shift
+        shift += _SRC_BITS
+    return word
+
+
+def unpack_srcs(word: int) -> Tuple[int, ...]:
+    """Inverse of :func:`pack_srcs`."""
+    count = word & 0xF
+    regs = []
+    shift = 4
+    for _ in range(count):
+        regs.append((word >> shift) & _SRC_MASK)
+        shift += _SRC_BITS
+    return tuple(regs)
+
+
+class PackedTrace:
+    """A materialised trace in packed structure-of-arrays form.
+
+    Build one with :meth:`from_instructions` (or load one from the binary
+    cache via :func:`repro.trace.io.load_packed`).  Slicing with unit step
+    returns a zero-copy view sharing the parent's columns.
+    """
+
+    __slots__ = ("name", "_cols", "_start", "_stop", "_stats",
+                 "_value_cache", "_load_cache")
+
+    def __init__(self, columns: Dict[str, array], name: str = "trace",
+                 start: int = 0, stop: Optional[int] = None):
+        length = len(columns["pcs"])
+        for col, _tc in COLUMNS:
+            if len(columns[col]) != length:
+                raise ValueError(f"column {col!r} length mismatch")
+        self.name = name
+        self._cols = columns
+        self._start = start
+        self._stop = length if stop is None else stop
+        self._stats: Optional[TraceStats] = None
+        self._value_cache: Optional[Tuple[array, array, array]] = None
+        self._load_cache: Optional[Tuple[array, array]] = None
+
+    # -- construction ----------------------------------------------------
+    @classmethod
+    def from_instructions(cls, instructions: Iterable[Instruction],
+                          name: str = "trace") -> "PackedTrace":
+        """Pack an instruction stream (consumed once, never materialised)."""
+        if isinstance(instructions, Trace):
+            name = instructions.name
+        cols = {col: array(tc) for col, tc in COLUMNS}
+        pcs = cols["pcs"].append
+        ops = cols["ops"].append
+        flags = cols["flags"].append
+        dests = cols["dests"].append
+        srcs = cols["srcs"].append
+        values = cols["values"].append
+        addrs = cols["addrs"].append
+        targets = cols["targets"].append
+        latency = cols["latency"].append
+        for insn in instructions:
+            flag = 0
+            dest = insn.dest
+            if dest is not None:
+                if not 0 <= dest <= 0xFF:
+                    raise ValueError(f"cannot pack dest register {dest!r}")
+                flag |= FLAG_DEST
+            else:
+                dest = 0
+            value = insn.value
+            if value is not None:
+                flag |= FLAG_VALUE
+                _check_word(value, "value")
+            else:
+                value = 0
+            addr = insn.addr
+            if addr is not None:
+                flag |= FLAG_ADDR
+                _check_word(addr, "addr")
+            else:
+                addr = 0
+            if insn.taken is not None:
+                flag |= FLAG_TAKEN
+                if insn.taken:
+                    flag |= FLAG_TAKEN_TRUE
+            target = insn.target
+            if target is not None:
+                flag |= FLAG_TARGET
+                _check_word(target, "target")
+            else:
+                target = 0
+            op = insn.op
+            if (flag & FLAG_VALUE and flag & FLAG_DEST
+                    and (op is OpClass.IALU or op is OpClass.LOAD)):
+                flag |= FLAG_PRODUCES
+            if not 0 <= insn.latency_class <= 0xFF:
+                raise ValueError(
+                    f"cannot pack latency_class {insn.latency_class!r}")
+            pcs(_check_word(insn.pc, "pc"))
+            ops(int(op))
+            flags(flag)
+            dests(dest)
+            srcs(pack_srcs(insn.srcs))
+            values(value)
+            addrs(addr)
+            targets(target)
+            latency(insn.latency_class)
+        return cls(cols, name=name)
+
+    # -- container protocol ----------------------------------------------
+    def __len__(self) -> int:
+        return self._stop - self._start
+
+    def instruction_at(self, index: int) -> Instruction:
+        """Materialise the instruction at view-relative *index*."""
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError("trace index out of range")
+        i = self._start + index
+        cols = self._cols
+        flag = cols["flags"][i]
+        return Instruction(
+            pc=cols["pcs"][i],
+            op=OpClass(cols["ops"][i]),
+            dest=cols["dests"][i] if flag & FLAG_DEST else None,
+            srcs=unpack_srcs(cols["srcs"][i]),
+            value=cols["values"][i] if flag & FLAG_VALUE else None,
+            addr=cols["addrs"][i] if flag & FLAG_ADDR else None,
+            taken=bool(flag & FLAG_TAKEN_TRUE) if flag & FLAG_TAKEN else None,
+            target=cols["targets"][i] if flag & FLAG_TARGET else None,
+            latency_class=cols["latency"][i],
+        )
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            start, stop, step = index.indices(len(self))
+            if step != 1:
+                return [self.instruction_at(i)
+                        for i in range(start, stop, step)]
+            view = PackedTrace.__new__(PackedTrace)
+            view.name = self.name
+            view._cols = self._cols
+            view._start = self._start + start
+            view._stop = self._start + stop
+            view._stats = None
+            view._value_cache = None
+            view._load_cache = None
+            return view
+        return self.instruction_at(index)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        at = self.instruction_at
+        for index in range(len(self)):
+            yield at(index)
+
+    # -- Trace-compatible surface ----------------------------------------
+    @property
+    def stats(self) -> TraceStats:
+        """Summary statistics, computed from the columns (no objects built)."""
+        if self._stats is None:
+            stats = TraceStats()
+            ops = self._cols["ops"]
+            flags = self._cols["flags"]
+            pcs = self._cols["pcs"]
+            load = int(OpClass.LOAD)
+            store = int(OpClass.STORE)
+            br = int(OpClass.BRANCH)
+            seen = set()
+            for i in range(self._start, self._stop):
+                stats.total += 1
+                seen.add(pcs[i])
+                if flags[i] & FLAG_PRODUCES:
+                    stats.value_producing += 1
+                op = ops[i]
+                if op == load:
+                    stats.loads += 1
+                elif op == store:
+                    stats.stores += 1
+                elif op == br:
+                    stats.branches += 1
+            stats.static_pcs = len(seen)
+            self._stats = stats
+        return self._stats
+
+    def value_producing(self) -> Iterator[Instruction]:
+        flags = self._cols["flags"]
+        at = self.instruction_at
+        start = self._start
+        return (at(i - start) for i in range(start, self._stop)
+                if flags[i] & FLAG_PRODUCES)
+
+    def loads(self) -> Iterator[Instruction]:
+        ops = self._cols["ops"]
+        at = self.instruction_at
+        start = self._start
+        load = int(OpClass.LOAD)
+        return (at(i - start) for i in range(start, self._stop)
+                if ops[i] == load)
+
+    def per_pc_values(self) -> Dict[int, List[int]]:
+        histories: Dict[int, List[int]] = {}
+        flags = self._cols["flags"]
+        pcs = self._cols["pcs"]
+        values = self._cols["values"]
+        for i in range(self._start, self._stop):
+            if flags[i] & FLAG_PRODUCES:
+                histories.setdefault(pcs[i], []).append(values[i])
+        return histories
+
+    def to_trace(self) -> Trace:
+        """Materialise a plain :class:`Trace` (instruction objects)."""
+        return Trace(iter(self), name=self.name)
+
+    # -- fast-path column access -----------------------------------------
+    def value_columns(self) -> Tuple[array, array, array]:
+        """``(indices, pcs, values)`` columns of the value-producing
+        instructions in this view.
+
+        *indices* are view-relative positions (what ``enumerate`` over the
+        full trace would report), so instrumented callers can keep exact
+        progress/event bookkeeping.  Built once per view and cached.
+        """
+        if self._value_cache is None:
+            idx = array("Q")
+            vpcs = array("Q")
+            vvals = array("Q")
+            flags = self._cols["flags"]
+            pcs = self._cols["pcs"]
+            values = self._cols["values"]
+            start = self._start
+            for i in range(start, self._stop):
+                if flags[i] & FLAG_PRODUCES:
+                    idx.append(i - start)
+                    vpcs.append(pcs[i])
+                    vvals.append(values[i])
+            self._value_cache = (idx, vpcs, vvals)
+        return self._value_cache
+
+    def value_pairs(self) -> Tuple[array, array]:
+        """``(pcs, values)`` columns of the value-producing instructions."""
+        _, pcs, values = self.value_columns()
+        return pcs, values
+
+    def load_pairs(self) -> Tuple[array, array]:
+        """``(pcs, addrs)`` columns of the load instructions in this view."""
+        if self._load_cache is None:
+            lpcs = array("Q")
+            laddrs = array("Q")
+            ops = self._cols["ops"]
+            pcs = self._cols["pcs"]
+            addrs = self._cols["addrs"]
+            load = int(OpClass.LOAD)
+            for i in range(self._start, self._stop):
+                if ops[i] == load:
+                    lpcs.append(pcs[i])
+                    laddrs.append(addrs[i])
+            self._load_cache = (lpcs, laddrs)
+        return self._load_cache
+
+    def columns(self) -> Dict[str, array]:
+        """The raw columns restricted to this view (copied iff a sub-view)."""
+        if self._start == 0 and self._stop == len(self._cols["pcs"]):
+            return dict(self._cols)
+        return {col: self._cols[col][self._start:self._stop]
+                for col, _tc in COLUMNS}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<PackedTrace {self.name!r} len={len(self)}>"
+
+
+def pack_trace(trace: Iterable[Instruction], name: str = "trace") -> PackedTrace:
+    """Convenience alias for :meth:`PackedTrace.from_instructions`."""
+    return PackedTrace.from_instructions(trace, name=name)

@@ -1,0 +1,16 @@
+"""Shared test fixtures.
+
+Every test runs against a private, per-session trace-cache directory so
+suites neither pollute ``~/.cache/repro-traces`` nor depend on whatever a
+developer's real cache happens to contain.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_trace_cache(tmp_path_factory, monkeypatch):
+    cache_dir = tmp_path_factory.getbasetemp() / "trace-cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    return cache_dir

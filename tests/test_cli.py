@@ -168,3 +168,85 @@ class TestTelemetryFlags:
     def test_verbose_flag_accepted(self, capsys):
         assert main(["predict", "gzip", "--length", "1000",
                      "--predictors", "stride", "-v"]) == 0
+
+
+class TestCacheCommand:
+    @pytest.fixture(autouse=True)
+    def _private_cache(self, monkeypatch, tmp_path):
+        # The session-wide cache fixture is shared (so experiment tests
+        # reuse traces); cache-management tests need a pristine one.
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+    def test_stats_on_empty_cache(self, capsys):
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 0" in out
+
+    def test_warm_then_stats_then_clear(self, capsys):
+        assert main(["cache", "warm", "--length", "2000",
+                     "--bench", "gcc,mcf", "--no-progress"]) == 0
+        out = capsys.readouterr().out
+        assert "generated" in out
+        assert main(["cache", "warm", "--length", "2000",
+                     "--bench", "gcc,mcf", "--no-progress"]) == 0
+        assert "hit" in capsys.readouterr().out
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 2" in out and ".rpt" in out
+        assert main(["cache", "clear"]) == 0
+        assert "removed 2" in capsys.readouterr().out
+
+    def test_stats_manifest(self, capsys, tmp_path):
+        manifest = tmp_path / "m.json"
+        assert main(["cache", "stats", "--metrics-out", str(manifest)]) == 0
+        capsys.readouterr()
+        data = json.loads(manifest.read_text())
+        assert data["cache"]["entries"] == 0
+        assert data["metrics"]["gauges"]["cache.entries"] == 0
+
+    def test_warm_rejects_bad_bench(self):
+        with pytest.raises(SystemExit):
+            main(["cache", "warm", "--bench", "nope"])
+
+
+class TestRunAllCommand:
+    def test_subset_serial(self, capsys, tmp_path):
+        out_dir = tmp_path / "results"
+        assert main(["run-all", "--experiments", "fig8",
+                     "--length", "5000", "--bench", "gzip",
+                     "--jobs", "1", "--out-dir", str(out_dir),
+                     "--no-progress"]) == 0
+        out = capsys.readouterr().out
+        assert "fig8" in out
+        assert (out_dir / "fig8.txt").exists()
+        saved = json.loads((out_dir / "fig8.json").read_text())
+        assert saved["name"] == "fig8"
+        assert [row[0] for row in saved["rows"]] == ["gzip", "average"]
+
+    def test_parallel_matches_serial(self, capsys, tmp_path):
+        def run(jobs, out_dir):
+            assert main(["run-all", "--experiments", "fig8",
+                         "--length", "5000", "--bench", "gzip,twolf",
+                         "--jobs", str(jobs), "--out-dir", str(out_dir),
+                         "--no-progress"]) == 0
+            capsys.readouterr()
+            return json.loads((out_dir / "fig8.json").read_text())
+
+        assert run(1, tmp_path / "serial") == run(2, tmp_path / "parallel")
+
+    def test_manifest_records_every_experiment(self, capsys, tmp_path):
+        manifest = tmp_path / "m.json"
+        assert main(["run-all", "--experiments", "fig8,fig10",
+                     "--length", "5000", "--bench", "gzip", "--jobs", "2",
+                     "--metrics-out", str(manifest),
+                     "--no-progress"]) == 0
+        capsys.readouterr()
+        data = json.loads(manifest.read_text())
+        assert sorted(data["experiments"]) == ["fig10", "fig8"]
+        phases = data["phases"]
+        assert phases["experiment.fig8"]["calls"] == 1
+        assert phases["experiment.fig10"]["calls"] == 1
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["run-all", "--experiments", "figZZ"])

@@ -105,6 +105,39 @@ class TestWarmThenMeasure:
         # Fully warmed: every measured prediction hits.
         assert stats["s"].raw_accuracy == 1.0
 
+    def test_streams_endless_generator(self):
+        # Nothing is materialised: an infinite source must work, consuming
+        # exactly warmup+measure instructions.
+        def endless():
+            pc, value = 0x40, 0
+            while True:
+                value += 3
+                yield ialu(pc, 1, value % (1 << 64))
+
+        stats = warm_then_measure(endless, {"s": StridePredictor(entries=None)},
+                                  warmup=1000, measure=500)
+        assert stats["s"].attempts == 500
+        assert stats["s"].raw_accuracy == 1.0
+
+    def test_accepts_materialised_trace(self):
+        # An already-built iterable (list/Trace/PackedTrace) is consumed in
+        # place; warm and measure phases split it without re-buffering.
+        trace = stride_trace(100)
+        stats = warm_then_measure(trace, {"s": StridePredictor(entries=None)},
+                                  warmup=50, measure=50)
+        factory_stats = warm_then_measure(
+            lambda: iter(stride_trace(100)),
+            {"s": StridePredictor(entries=None)}, warmup=50, measure=50)
+        assert stats["s"].as_dict() == factory_stats["s"].as_dict()
+
+    def test_measure_window_bounded_by_source(self):
+        stats = warm_then_measure(
+            lambda: iter(stride_trace(60)),
+            {"s": StridePredictor(entries=None)},
+            warmup=50, measure=50,
+        )
+        assert stats["s"].attempts == 10  # source exhausted, no wraparound
+
 
 class TestExperimentResult:
     def _result(self):

@@ -1,0 +1,149 @@
+"""PackedTrace: SoA layout equivalence with the Trace/Instruction model.
+
+The fast path is only admissible if it is *invisible*: every consumer —
+iteration, slicing, stats, the profile runners, the OOO core — must see
+bit-identical behaviour from a :class:`PackedTrace` and the :class:`Trace`
+it was packed from.
+"""
+
+import pytest
+
+from repro.core import GDiffPredictor
+from repro.pipeline import OutOfOrderCore
+from repro.predictors import DFCMPredictor, MarkovPredictor, StridePredictor
+from repro.harness.runner import run_address_prediction, run_value_prediction
+from repro.trace import Instruction, OpClass, PackedTrace, branch, ialu, load, store
+from repro.trace.packed import pack_srcs, unpack_srcs
+from repro.trace.workloads import get
+from repro.wordops import WORD_MASK
+
+
+def sample_instructions():
+    return [
+        ialu(0x1000, 3, 42, srcs=(1, 2)),
+        load(0x1004, 5, 0xDEADBEEF, 0x20_0000, srcs=(3,)),
+        store(0x1008, 0x20_0008, srcs=(5,)),
+        branch(0x100C, True, 0x1000, srcs=(5,)),
+        branch(0x1010, False, 0x1400),
+        Instruction(pc=0x1014, op=OpClass.NOP),
+        ialu(0x1018, 1, WORD_MASK),
+    ]
+
+
+def fresh_predictors():
+    return {
+        "stride": StridePredictor(entries=None),
+        "dfcm": DFCMPredictor(order=4, l1_entries=None),
+        "gdiff8": GDiffPredictor(order=8, entries=None),
+    }
+
+
+class TestRoundTrip:
+    def test_instructions_survive_packing(self):
+        insns = sample_instructions()
+        packed = PackedTrace.from_instructions(insns, name="demo")
+        assert packed.name == "demo"
+        assert len(packed) == len(insns)
+        assert list(packed) == insns
+
+    def test_workload_survives_packing(self):
+        trace = get("vortex").trace(3000)
+        packed = PackedTrace.from_instructions(trace, name=trace.name)
+        assert list(packed) == list(trace)
+
+    def test_instruction_at_matches_iteration(self):
+        insns = sample_instructions()
+        packed = PackedTrace.from_instructions(insns)
+        for i, insn in enumerate(insns):
+            assert packed.instruction_at(i) == insn
+
+    def test_to_trace_round_trip(self):
+        trace = get("gzip").trace(1000)
+        packed = PackedTrace.from_instructions(trace, name=trace.name)
+        back = packed.to_trace()
+        assert back.name == trace.name
+        assert list(back) == list(trace)
+
+    def test_srcs_pack_unpack(self):
+        for srcs in ((), (0,), (31,), (1, 2, 3), tuple(range(10))):
+            assert unpack_srcs(pack_srcs(srcs)) == srcs
+
+    def test_too_many_srcs_rejected(self):
+        with pytest.raises(ValueError):
+            pack_srcs(tuple(range(11)))
+
+
+class TestSlicing:
+    def test_slice_is_zero_copy_view(self):
+        packed = PackedTrace.from_instructions(
+            get("gcc").trace(2000), name="gcc")
+        view = packed[500:1500]
+        assert len(view) == 1000
+        assert view._cols is packed._cols  # shared columns, no copy
+        assert list(view) == list(packed)[500:1500]
+
+    def test_nested_slice(self):
+        packed = PackedTrace.from_instructions(get("mcf").trace(1000))
+        assert list(packed[100:900][200:300]) == list(packed)[300:400]
+
+    def test_negative_and_open_slices(self):
+        packed = PackedTrace.from_instructions(sample_instructions())
+        base = sample_instructions()
+        assert list(packed[:3]) == base[:3]
+        assert list(packed[-2:]) == base[-2:]
+        assert packed[2] == base[2]
+        assert packed[-1] == base[-1]
+
+    def test_stats_match_trace_stats(self):
+        trace = get("parser").trace(4000)
+        packed = PackedTrace.from_instructions(trace)
+        assert packed.stats == trace.stats
+
+
+class TestRunnerEquivalence:
+    @pytest.mark.parametrize("bench", ["gcc", "mcf"])
+    @pytest.mark.parametrize("gated", [False, True])
+    def test_value_prediction_stats_identical(self, bench, gated):
+        trace = get(bench).trace(6000)
+        packed = PackedTrace.from_instructions(trace, name=bench)
+        slow = run_value_prediction(trace, fresh_predictors(), gated=gated)
+        fast = run_value_prediction(packed, fresh_predictors(), gated=gated)
+        for name in slow:
+            assert slow[name].as_dict() == fast[name].as_dict(), name
+
+    def test_address_prediction_stats_identical(self):
+        trace = get("vortex").trace(6000)
+        packed = PackedTrace.from_instructions(trace, name="vortex")
+        predictors = lambda: {
+            "ls": StridePredictor(entries=4096),
+            "gs": GDiffPredictor(order=32, entries=4096),
+            "markov": MarkovPredictor(entries=65536, ways=4),
+        }
+        slow = run_address_prediction(trace, predictors())
+        fast = run_address_prediction(packed, predictors())
+        for name in slow:
+            assert slow[name].as_dict() == fast[name].as_dict(), name
+
+    def test_ooo_core_results_identical(self):
+        trace = get("twolf").trace(3000, code_copies=4)
+        packed = PackedTrace.from_instructions(trace, name="twolf")
+        a = OutOfOrderCore().run(trace)
+        b = OutOfOrderCore().run(packed)
+        assert a.ipc == b.ipc
+        assert a.cycles == b.cycles
+        assert a.retired == b.retired
+        assert a.dcache_miss_rate == b.dcache_miss_rate
+
+    def test_value_pairs_cover_exactly_value_producers(self):
+        trace = get("bzip2").trace(2000)
+        packed = PackedTrace.from_instructions(trace)
+        pcs, values = packed.value_pairs()
+        expected = [(i.pc, i.value) for i in trace if i.produces_value]
+        assert list(zip(pcs, values)) == expected
+
+    def test_load_pairs_cover_exactly_loads(self):
+        trace = get("bzip2").trace(2000)
+        packed = PackedTrace.from_instructions(trace)
+        pcs, addrs = packed.load_pairs()
+        expected = [(i.pc, i.addr) for i in trace if i.op is OpClass.LOAD]
+        assert list(zip(pcs, addrs)) == expected

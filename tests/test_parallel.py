@@ -1,0 +1,114 @@
+"""Parallel experiment runner: determinism, metrics merging, degradation.
+
+The one property that matters: fanning the registry across processes must
+change wall-clock time and *nothing else* — identical ExperimentResult
+rows, identical per-experiment phase accounting, and a clean serial
+fallback when the pool cannot be used.
+"""
+
+import pytest
+
+from repro.harness.parallel import (
+    _crashing_worker,
+    default_workers,
+    parallel_map,
+    run_experiments,
+)
+from repro.telemetry import MetricsRegistry
+
+#: Small-but-representative slice of the registry: one profile experiment
+#: and one sweep, two benchmarks, short traces.
+NAMES = ["fig8", "fig10"]
+COMMON = {"length": 6000, "benchmarks": ["gcc", "mcf"]}
+
+
+def _square(x):
+    return x * x
+
+
+class TestDeterminism:
+    def test_parallel_equals_serial(self):
+        serial = run_experiments(NAMES, max_workers=1, common_kwargs=COMMON)
+        parallel = run_experiments(NAMES, max_workers=2, common_kwargs=COMMON)
+        assert list(serial) == list(parallel) == NAMES
+        for name in NAMES:
+            assert serial[name].as_dict() == parallel[name].as_dict(), name
+
+    def test_kwargs_for_overrides_common(self):
+        results = run_experiments(
+            ["fig8"], max_workers=1,
+            common_kwargs={"length": 6000, "benchmarks": ["gcc", "mcf"]},
+            kwargs_for={"fig8": {"benchmarks": ["mcf"]}},
+        )
+        rows = [row[0] for row in results["fig8"].rows]
+        assert "gcc" not in rows and "mcf" in rows
+
+
+class TestMetrics:
+    def test_merged_metrics_match_serial(self):
+        reg_s = MetricsRegistry()
+        run_experiments(NAMES, max_workers=1, common_kwargs=COMMON,
+                        registry=reg_s)
+        reg_p = MetricsRegistry()
+        run_experiments(NAMES, max_workers=2, common_kwargs=COMMON,
+                        registry=reg_p)
+        snap_s, snap_p = reg_s.as_dict(), reg_p.as_dict()
+        # One timed phase per experiment, exactly once, either way.
+        for name in NAMES:
+            phase = f"experiment.{name}"
+            assert snap_s["phases"][phase]["calls"] == 1
+            assert snap_p["phases"][phase]["calls"] == 1
+        assert snap_s["counters"] == snap_p["counters"]
+
+    def test_progress_callback_counts_up(self):
+        seen = []
+        run_experiments(NAMES, max_workers=2, common_kwargs=COMMON,
+                        on_progress=lambda done, total: seen.append(
+                            (done, total)))
+        assert seen == [(1, 2), (2, 2)]
+
+
+class TestDegradation:
+    def test_worker_crash_falls_back_to_serial(self):
+        reg = MetricsRegistry()
+        results = run_experiments(NAMES, max_workers=2, common_kwargs=COMMON,
+                                  registry=reg,
+                                  pool_worker=_crashing_worker)
+        expected = run_experiments(NAMES, max_workers=1, common_kwargs=COMMON)
+        for name in NAMES:
+            assert results[name].as_dict() == expected[name].as_dict(), name
+        # The aborted parallel attempt must not leak partial metrics.
+        for name in NAMES:
+            assert reg.as_dict()["phases"][f"experiment.{name}"]["calls"] == 1
+
+    def test_single_experiment_runs_in_process(self):
+        # total == 1 short-circuits the pool entirely.
+        sentinel = []
+
+        def boom(name, kwargs):  # would fail to pickle anyway
+            sentinel.append(name)
+            raise AssertionError("pool must not be used")
+
+        results = run_experiments(["fig8"], max_workers=8,
+                                  common_kwargs=COMMON, pool_worker=boom)
+        assert not sentinel
+        assert results["fig8"].name == "fig8"
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+
+
+class TestParallelMap:
+    def test_order_preserved(self):
+        items = list(range(20))
+        assert parallel_map(_square, items, max_workers=4) == [
+            x * x for x in items]
+
+    def test_serial_path(self):
+        assert parallel_map(_square, [3], max_workers=8) == [9]
+        assert parallel_map(_square, [2, 3], max_workers=1) == [4, 9]
+
+    def test_unpicklable_fn_falls_back(self):
+        items = [1, 2, 3]
+        fn = lambda x: x + 1  # noqa: E731 - deliberately unpicklable
+        assert parallel_map(fn, items, max_workers=2) == [2, 3, 4]
