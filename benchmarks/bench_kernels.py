@@ -1,0 +1,131 @@
+"""Fused predictor kernels — speedups over the object path, measured with
+the results pinned equal.
+
+Two claims (docs/PERFORMANCE.md):
+
+* **Raw gDiff microbenchmark.** The fused predict+train kernel beats the
+  pre-kernel object path (a ``GVQ.get`` window walk plus the
+  dict-of-dataclass :class:`~repro.core.table.GDiffTable`) by at least
+  2.5x on a single unlimited-table profile run.
+* **End-to-end Figure 8.** A warm full-length Figure 8 run with the
+  kernels (``REPRO_KERNELS=1``, the default) beats the same run forced
+  onto the object path (``REPRO_KERNELS=0``) by at least 1.8x.
+
+Both measurements assert bit-identical results between the two paths
+before asserting the speedup — a kernel that drifts from the object path
+is a bug, not a win.  Ratios land in ``BENCH_metrics.json`` under
+``metrics.kernels``.
+"""
+
+import time
+
+from repro.core import GDiffPredictor, GDiffTable
+from repro.core.gvq import GlobalValueQueue
+from repro.harness.experiments import fig8
+from repro.harness.runner import run_value_prediction
+from repro.trace.cache import default_cache
+from repro.wordops import WORD_MASK, wsub
+
+LENGTH = 100_000
+ROUNDS = 3
+
+
+def _best(fn, rounds=ROUNDS):
+    return min(_timed(fn) for _ in range(rounds))
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+class _ReferenceGDiff:
+    """The pre-kernel gDiff object path, kept as the timing baseline.
+
+    Window reads go through ``GlobalValueQueue.get`` and training through
+    the dict-of-dataclass ``GDiffTable`` — the Optional-diff representation
+    the flat arrays and kernels replaced.  Results must stay identical.
+    """
+
+    name = "gdiff-reference"
+
+    def __init__(self, order=8, entries=None):
+        self.order = order
+        self.queue = GlobalValueQueue(size=order)
+        self.table = GDiffTable(order=order, entries=entries)
+
+    def predict(self, pc):
+        entry = self.table.lookup(pc)
+        if entry is None or not entry.distance:
+            return None
+        diff = entry.diffs[entry.distance - 1]
+        if diff is None:
+            return None
+        base = self.queue.get(entry.distance)
+        if base is None:
+            return None
+        return (base + diff) & WORD_MASK
+
+    def update(self, pc, actual):
+        get = self.queue.get
+        diffs = [None if base is None else wsub(actual, base)
+                 for base in (get(d) for d in range(1, self.order + 1))]
+        self.table.train(pc, diffs)
+        self.queue.push(actual)
+
+
+def _stats_key(stats):
+    return (stats.attempts, stats.predictions, stats.correct,
+            stats.confident, stats.confident_correct)
+
+
+def bench_gdiff_kernel_microbench(benchmark, record_metrics):
+    """Fused gDiff kernel vs the pre-kernel object path, same trace."""
+    trace = default_cache().load_or_generate("gcc", LENGTH)
+
+    def run_reference():
+        return run_value_prediction(trace, {"g": _ReferenceGDiff(order=8)})
+
+    def run_kernel():
+        return run_value_prediction(trace, {"g": GDiffPredictor(order=8,
+                                                                entries=None)})
+
+    ref_stats = run_reference()["g"]
+    kern_stats = run_kernel()["g"]
+    assert _stats_key(ref_stats) == _stats_key(kern_stats), (
+        "kernel path diverged from the reference object path")
+
+    ref = _best(run_reference)
+    kern = _best(run_kernel)
+    benchmark.pedantic(run_kernel, rounds=1, iterations=1)
+    speedup = ref / kern
+    record_metrics("kernels", gdiff_reference_s=ref, gdiff_kernel_s=kern,
+                   gdiff_kernel_speedup=speedup)
+    print(f"\ngdiff microbench: reference {ref * 1000:.0f} ms, "
+          f"kernel {kern * 1000:.0f} ms ({speedup:.2f}x)")
+    assert speedup >= 2.5, (
+        f"gdiff kernel only {speedup:.2f}x over the object path; "
+        f"expected >= 2.5x")
+
+
+def bench_fig8_kernel_end_to_end(benchmark, record_metrics, monkeypatch):
+    """Warm full-length Figure 8: kernels on vs the object-path fallback."""
+    fig8()  # warm the trace cache outside the timed region
+    monkeypatch.setenv("REPRO_KERNELS", "0")
+    object_rows = fig8().rows
+    object_s = _best(fig8, rounds=2)
+    monkeypatch.setenv("REPRO_KERNELS", "1")
+    kernel_rows = fig8().rows
+    kernel_s = _best(fig8, rounds=2)
+    benchmark.pedantic(fig8, rounds=1, iterations=1)
+    assert object_rows == kernel_rows, (
+        "REPRO_KERNELS=1 changed Figure 8 results")
+    speedup = object_s / kernel_s
+    record_metrics("kernels", fig8_object_s=object_s, fig8_kernel_s=kernel_s,
+                   fig8_kernel_speedup=speedup)
+    print(f"\nfig8 end-to-end: object path {object_s * 1000:.0f} ms, "
+          f"kernels {kernel_s * 1000:.0f} ms ({speedup:.2f}x)")
+    assert speedup >= 1.8, (
+        f"kernel fig8 only {speedup:.2f}x over the object path; "
+        f"expected >= 1.8x")

@@ -11,8 +11,11 @@ root: per-bench wall times and outcomes plus the names of every archived
 table — the machine-readable perf trajectory of the benchmark suite.
 """
 
+import cProfile
 import json
 import pathlib
+import pstats
+import sys
 from datetime import datetime, timezone
 
 import pytest
@@ -27,6 +30,53 @@ METRICS_PATH = REPO_ROOT / "BENCH_metrics.json"
 
 #: Session-wide accumulator for the consolidated metrics document.
 _session_records = {"benches": {}, "archived": [], "metrics": {}}
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--profile", action="store_true", default=False,
+        help="run each bench under cProfile and print the top-20 "
+             "cumulative entries to stderr")
+
+
+@pytest.fixture(autouse=True)
+def _profile_bench(request, monkeypatch, capsys):
+    """With ``--profile``, wrap the bench body in cProfile.
+
+    Prints the top-20 cumulative entries to stderr per bench, so perf
+    work starts from a measured hot-path breakdown rather than a guess.
+    The ``benchmark.pedantic`` recording call runs outside the profiler:
+    pytest-benchmark pauses sys.setprofile-based instrumentation itself,
+    which does not compose with an active cProfile session.
+    """
+    if not request.config.getoption("--profile"):
+        yield
+        return
+    profiler = cProfile.Profile()
+
+    from pytest_benchmark.fixture import BenchmarkFixture
+
+    recorded_pedantic = BenchmarkFixture.pedantic
+
+    def unprofiled_pedantic(self, *args, **kwargs):
+        profiler.disable()
+        try:
+            return recorded_pedantic(self, *args, **kwargs)
+        finally:
+            profiler.enable()
+
+    monkeypatch.setattr(BenchmarkFixture, "pedantic", unprofiled_pedantic)
+    profiler.enable()
+    try:
+        yield
+    finally:
+        profiler.disable()
+        with capsys.disabled():
+            print(f"\n--- cProfile ({request.node.nodeid}): "
+                  "top 20 by cumulative time ---", file=sys.stderr)
+            stats = pstats.Stats(profiler, stream=sys.stderr)
+            stats.sort_stats("cumulative")
+            stats.print_stats(20)
 
 
 @pytest.fixture(autouse=True)
@@ -82,20 +132,51 @@ def pytest_runtest_logreport(report):
     }
 
 
+def _load_previous_metrics(path):
+    """Return the previous BENCH_metrics.json payload, or an empty shell.
+
+    A corrupt or missing document degrades to a fresh one rather than
+    failing the whole bench session at report time.
+    """
+    try:
+        previous = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return {}
+    return previous if isinstance(previous, dict) else {}
+
+
 def pytest_sessionfinish(session, exitstatus):
-    """Write the consolidated benchmark-metrics document."""
+    """Merge this session's results into BENCH_metrics.json.
+
+    Partial runs (``pytest benchmarks/bench_fig08...``) are the common
+    case, so the document is merged rather than rewritten: benches and
+    metric sections recorded this session replace their previous entries,
+    everything else survives.  ``exit_status``/``generated_at`` always
+    describe the latest session; ``total_wall_s`` sums the merged benches.
+    """
     benches = _session_records["benches"]
     if not benches:
         return
+    previous = _load_previous_metrics(METRICS_PATH)
+    merged_benches = dict(previous.get("benches") or {})
+    merged_benches.update(benches)
+    merged_archived = set(previous.get("archived") or [])
+    merged_archived.update(_session_records["archived"])
+    merged_metrics = {k: dict(v) for k, v in
+                      (previous.get("metrics") or {}).items()}
+    for section, values in _session_records["metrics"].items():
+        merged_metrics.setdefault(section, {}).update(values)
     payload = {
         "schema": 1,
         "generated_at": datetime.now(timezone.utc).isoformat(),
         "exit_status": int(exitstatus),
-        "total_wall_s": round(sum(b["duration_s"] for b in benches.values()), 4),
-        "benches": dict(sorted(benches.items())),
-        "archived": sorted(set(_session_records["archived"])),
+        "total_wall_s": round(sum(b["duration_s"]
+                                  for b in merged_benches.values()), 4),
+        "benches": dict(sorted(merged_benches.items())),
+        "archived": sorted(merged_archived),
         "metrics": {k: dict(sorted(v.items()))
-                    for k, v in sorted(_session_records["metrics"].items())},
+                    for k, v in sorted(merged_metrics.items())},
     }
     METRICS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
-    log.info("wrote %s (%d benches)", METRICS_PATH, len(benches))
+    log.info("merged %s (%d benches this session, %d total)",
+             METRICS_PATH, len(benches), len(merged_benches))

@@ -11,8 +11,10 @@ Subcommands:
   profile-style accuracy comparison over one benchmark.
 * ``repro simulate <benchmark> [--length N] [--vp NAME] [--speculate]`` —
   run the cycle-level OOO core and report IPC and machine statistics.
-* ``repro run-all [--experiments a,b] [--jobs N] [--out-dir DIR]`` — run
-  the whole experiment registry, fanned across worker processes.
+* ``repro run-all [--experiments a,b] [--jobs N] [--out-dir DIR]
+  [--profile]`` — run the whole experiment registry, fanned across worker
+  processes (``--profile`` runs serially under cProfile and prints the
+  top-20 cumulative entries to stderr).
 * ``repro cache stats|warm|clear`` — inspect, populate, or empty the
   on-disk trace cache (docs/PERFORMANCE.md).
 
@@ -361,6 +363,27 @@ def _parse_experiments(spec: Optional[str]) -> List[str]:
     return names
 
 
+def _profiled(fn):
+    """Run *fn* under cProfile; print top-20 cumulative entries to stderr.
+
+    Perf PRs should start from data: the table shows where a run actually
+    spends its time (kernels, trace loads, rendering, ...).
+    """
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        return fn()
+    finally:
+        profiler.disable()
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative")
+        print("--- cProfile: top 20 by cumulative time ---", file=sys.stderr)
+        stats.print_stats(20)
+
+
 def cmd_run_all(args: argparse.Namespace) -> int:
     tele = _Telemetry(args, "run-all")
     names = _parse_experiments(args.experiments)
@@ -374,17 +397,24 @@ def cmd_run_all(args: argparse.Namespace) -> int:
         kwargs_for = {name: {"benchmarks": benchmarks}
                       for name in names if name != "fig12"}
     progress = tele.progress("run-all: ")
+    jobs = args.jobs
+    if getattr(args, "profile", False):
+        # Worker processes are invisible to the parent's profiler; a
+        # profiled run is serial so the numbers mean something.
+        jobs = 1
     log.info("running %d experiments with jobs=%s", len(names),
-             args.jobs or "auto")
+             jobs or "auto")
     with tele.timer("run_all") as span:
-        results = run_experiments(
+        runner = lambda: run_experiments(  # noqa: E731
             names,
-            max_workers=args.jobs,
+            max_workers=jobs,
             common_kwargs=common,
             kwargs_for=kwargs_for,
             registry=tele.registry,
             on_progress=progress,
         )
+        results = (_profiled(runner) if getattr(args, "profile", False)
+                   else runner())
         span.items = len(results)
     if progress is not None:
         progress.close()
@@ -534,6 +564,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_all.add_argument("--out-dir",
                        help="save each experiment's table (.txt) and data "
                             "(.json) here")
+    p_all.add_argument("--profile", action="store_true",
+                       help="run under cProfile (serial) and print the "
+                            "top-20 cumulative entries to stderr")
 
     # Telemetry flags live on the leaf action parsers only: sharing the
     # parent with ``p_cache`` would let the leaf's defaults overwrite

@@ -10,7 +10,7 @@
 from .gdiff import GDiffPredictor
 from .gvq import GlobalValueQueue, SlottedValueQueue
 from .hybrid import HybridGDiffPredictor
-from .table import DISTANCE_POLICIES, GDiffEntry, GDiffTable
+from .table import DISTANCE_POLICIES, FlatGDiffTable, GDiffEntry, GDiffTable
 
 __all__ = [
     "GDiffPredictor",
@@ -18,6 +18,7 @@ __all__ = [
     "GlobalValueQueue",
     "SlottedValueQueue",
     "GDiffTable",
+    "FlatGDiffTable",
     "GDiffEntry",
     "DISTANCE_POLICIES",
 ]

@@ -23,12 +23,13 @@ The HGVQ deployment needs a slotted queue and lives in
 
 from __future__ import annotations
 
+from array import array
 from typing import Dict, List, Optional
 
 from ..predictors.base import ValuePredictor
-from ..wordops import wadd, wsub
+from ..wordops import WORD_MASK, wsub
 from .gvq import GlobalValueQueue
-from .table import GDiffTable
+from .table import FlatGDiffTable
 
 
 class GDiffPredictor(ValuePredictor):
@@ -65,7 +66,7 @@ class GDiffPredictor(ValuePredictor):
     ):
         self.order = order
         self.queue = GlobalValueQueue(size=order, delay=delay)
-        self.table = GDiffTable(
+        self.table = FlatGDiffTable(
             order=order,
             entries=entries,
             policy=policy,
@@ -73,27 +74,44 @@ class GDiffPredictor(ValuePredictor):
             refresh_on_match=refresh_on_match,
             tagged=tagged,
         )
+        self._scratch = array("Q", bytes(8 * order))
         self._ctor = (order, entries, delay, policy, track_conflicts,
                       refresh_on_match, tagged)
 
     def predict(self, pc: int) -> Optional[int]:
         """Predict ``GVQ[distance] + diff_distance`` for *pc*, if locked."""
-        entry = self.table.lookup(pc)
-        if entry is None or entry.distance is None:
+        table = self.table
+        row = table.row_of(pc)
+        if row < 0:
             return None
-        diff = entry.diffs[entry.distance - 1]
-        if diff is None:
+        distance = table._dist[row]
+        # distance == 0: never locked.  distance > _valid: the stored diff
+        # at that distance was wiped by a shallower mismatch refresh (the
+        # object path reads None there).
+        if distance == 0 or distance > table._valid[row]:
             return None
-        base = self.queue.get(entry.distance)
-        if base is None:
+        queue = self.queue
+        if not (queue._vmask >> (distance - 1)) & 1:
             return None
-        return wadd(base, diff)
+        base = queue._buf[(queue._count - queue.delay - distance)
+                          % queue._capacity]
+        return (base + table._diffs[row * table.order + distance - 1]) \
+            & WORD_MASK
 
     def update(self, pc: int, actual: int) -> None:
         """Diff *actual* against the queue, train the table, shift it in."""
-        diffs = self._calc_diffs(actual)
-        self.last_distance = self.table.train(pc, diffs)
-        self.queue.push(actual)
+        queue = self.queue
+        vc = queue._vmask.bit_length()  # visible window is always a prefix
+        scratch = self._scratch
+        buf = queue._buf
+        cap = queue._capacity
+        newest = queue._count - queue.delay  # slot index of distance 1 + 1
+        actual &= WORD_MASK
+        for d in range(1, vc + 1):
+            scratch[d - 1] = (actual - buf[(newest - d) % cap]) & WORD_MASK
+        selected = self.table.train_prefix(pc, scratch, vc)
+        self.last_distance = selected if selected else None
+        queue.push(actual)
 
     def attach_metrics(self, registry, prefix: str = "gdiff") -> None:
         """Publish this predictor's internals into *registry*.
@@ -136,7 +154,7 @@ class GDiffPredictor(ValuePredictor):
     def reset(self) -> None:
         order, entries, delay, policy, track, refresh, tagged = self._ctor
         self.queue = GlobalValueQueue(size=order, delay=delay)
-        self.table = GDiffTable(
+        self.table = FlatGDiffTable(
             order=order, entries=entries, policy=policy,
             track_conflicts=track, refresh_on_match=refresh, tagged=tagged,
         )
@@ -147,8 +165,4 @@ class GDiffPredictor(ValuePredictor):
         Analysis helper: the distribution of selected distances is the
         correlation-distance profile discussed in Section 3 / [2].
         """
-        result = {}
-        for idx, entry in self.table._table._data.items():
-            if entry.distance is not None:
-                result[idx] = entry.distance
-        return result
+        return self.table.locked_distances()

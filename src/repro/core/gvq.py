@@ -16,11 +16,23 @@ Two containers are provided:
   hybrid scheme (HGVQ, Section 5).  Slots are allocated in dispatch order
   and carry speculative *filler* values; the write-back overwrites the slot
   in place, so the queue's ordering never suffers from execution variation.
+
+Both queues are backed by preallocated flat ``array('Q')`` ring buffers —
+one machine word per slot, no per-entry Python objects — and every
+operation is O(1) with no allocation: ``push``/``allocate``/``deposit``
+write one ring slot, ``get`` reads one, and ``clear`` just resets the
+cursor and the validity bitmask (stale buffer words are unreachable once
+the cursor resets, so nothing needs zeroing).  ``visible()``/``window()``
+remain as list-building compatibility shims; the fused kernels in
+:mod:`repro.core.kernels` never call them.
 """
 
 from __future__ import annotations
 
+from array import array
 from typing import List, Optional
+
+from ..wordops import WORD_MASK
 
 
 class GlobalValueQueue:
@@ -32,7 +44,17 @@ class GlobalValueQueue:
         delay: value delay ``T``; the ``T`` most recent values are hidden
             from both prediction and difference computation.  ``T = 0``
             reproduces the idealised profile configuration.
+
+    Values are stored as unsigned 64-bit machine words (every producer in
+    this package wraps through :mod:`repro.wordops` already).  Window
+    validity is a bitmask ``_vmask``: bit ``d-1`` set means distance ``d``
+    is visible, and because values become visible strictly in push order
+    the set bits always form the prefix ``1..min(size, pushes - delay)`` —
+    the property the fused kernels exploit to skip per-distance checks.
     """
+
+    __slots__ = ("size", "delay", "_capacity", "_buf", "_count", "_vmask",
+                 "_full_mask")
 
     def __init__(self, size: int = 8, delay: int = 0):
         if size <= 0:
@@ -43,13 +65,17 @@ class GlobalValueQueue:
         self.delay = delay
         # Ring buffer holding the last (size + delay) values.
         self._capacity = size + delay
-        self._buf: List[int] = [0] * self._capacity
+        self._buf = array("Q", bytes(8 * self._capacity))
         self._count = 0  # total values ever pushed
+        self._vmask = 0  # bit d-1 set <=> distance d currently visible
+        self._full_mask = (1 << size) - 1
 
     def push(self, value: int) -> None:
         """Shift a newly completed value into the queue."""
-        self._buf[self._count % self._capacity] = value
+        self._buf[self._count % self._capacity] = value & WORD_MASK
         self._count += 1
+        if self._count > self.delay:
+            self._vmask = ((self._vmask << 1) | 1) & self._full_mask
 
     def get(self, distance: int) -> Optional[int]:
         """Return the value at *distance* in the visible window.
@@ -60,14 +86,22 @@ class GlobalValueQueue:
         """
         if distance < 1 or distance > self.size:
             raise ValueError(f"distance must be in 1..{self.size}")
-        slot = self._count - self.delay - distance
-        if slot < 0:
+        if not (self._vmask >> (distance - 1)) & 1:
             return None
-        return self._buf[slot % self._capacity]
+        return self._buf[(self._count - self.delay - distance)
+                         % self._capacity]
 
     def visible(self) -> List[Optional[int]]:
-        """Return the full visible window as [distance 1, ..., distance n]."""
+        """Return the full visible window as [distance 1, ..., distance n].
+
+        Compatibility shim (allocates a fresh list per call); hot paths
+        read the ring buffer directly.
+        """
         return [self.get(d) for d in range(1, self.size + 1)]
+
+    def valid_mask(self) -> int:
+        """Bitmask of visible distances (bit ``d-1`` set = distance ``d``)."""
+        return self._vmask
 
     @property
     def total_pushed(self) -> int:
@@ -75,8 +109,8 @@ class GlobalValueQueue:
         return self._count
 
     def clear(self) -> None:
-        self._buf = [0] * self._capacity
         self._count = 0
+        self._vmask = 0
 
 
 class SlottedValueQueue:
@@ -91,8 +125,14 @@ class SlottedValueQueue:
 
     The ring capacity must exceed the predictor order plus the maximum
     number of in-flight instructions, so a write-back can always still find
-    its slot.
+    its slot.  Slot validity is positional: allocation is strictly
+    sequential, so slot ``s`` is live exactly when
+    ``next_seq - capacity <= s < next_seq`` — a contiguous window, which is
+    why the fused kernels can treat the valid distances behind any ``seq``
+    as a prefix rather than probing a per-slot flag.
     """
+
+    __slots__ = ("size", "_capacity", "_buf", "_next_seq", "late_deposits")
 
     def __init__(self, size: int = 32, capacity: int = 512):
         if size <= 0:
@@ -101,7 +141,7 @@ class SlottedValueQueue:
             raise ValueError("capacity must exceed the predictor order")
         self.size = size
         self._capacity = capacity
-        self._buf: List[int] = [0] * capacity
+        self._buf = array("Q", bytes(8 * capacity))
         self._next_seq = 0
         #: Write-backs that arrived after their slot was recycled; a
         #: nonzero count means the capacity margin over the ROB is too
@@ -117,7 +157,7 @@ class SlottedValueQueue:
         update").
         """
         seq = self._next_seq
-        self._buf[seq % self._capacity] = filler
+        self._buf[seq % self._capacity] = filler & WORD_MASK
         self._next_seq += 1
         return seq
 
@@ -132,7 +172,7 @@ class SlottedValueQueue:
         if seq < self._next_seq - self._capacity or seq >= self._next_seq:
             self.late_deposits += 1
             return False
-        self._buf[seq % self._capacity] = value
+        self._buf[seq % self._capacity] = value & WORD_MASK
         return True
 
     def get(self, seq: int, distance: int) -> Optional[int]:
@@ -145,14 +185,27 @@ class SlottedValueQueue:
         return self._buf[slot % self._capacity]
 
     def window(self, seq: int) -> List[Optional[int]]:
-        """Return [distance 1, ..., distance n] relative to slot *seq*."""
+        """Return [distance 1, ..., distance n] relative to slot *seq*.
+
+        Compatibility shim (allocates a fresh list per call); hot paths
+        read the ring buffer directly.
+        """
         return [self.get(seq, d) for d in range(1, self.size + 1)]
+
+    def valid_depth(self, seq: int) -> int:
+        """Number of valid window distances behind *seq* (a prefix 1..d)."""
+        oldest = self._next_seq - self._capacity
+        if oldest < 0:
+            oldest = 0
+        depth = seq - oldest
+        if depth < 0:
+            return 0
+        return depth if depth < self.size else self.size
 
     @property
     def total_allocated(self) -> int:
         return self._next_seq
 
     def clear(self) -> None:
-        self._buf = [0] * self._capacity
         self._next_seq = 0
         self.late_deposits = 0

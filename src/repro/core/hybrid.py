@@ -28,13 +28,14 @@ by write-back, which makes every filler exact — the zero-variation limit).
 
 from __future__ import annotations
 
+from array import array
 from typing import Dict, List, Optional, Tuple
 
 from ..predictors.base import ValuePredictor
 from ..predictors.stride import StridePredictor
-from ..wordops import wadd, wsub
+from ..wordops import WORD_MASK, wsub
 from .gvq import SlottedValueQueue
-from .table import GDiffTable
+from .table import FlatGDiffTable
 
 
 class HybridGDiffPredictor(ValuePredictor):
@@ -56,7 +57,8 @@ class HybridGDiffPredictor(ValuePredictor):
     ):
         self.order = order
         self.queue = SlottedValueQueue(size=order, capacity=capacity)
-        self.table = GDiffTable(order=order, entries=entries, policy=policy)
+        self.table = FlatGDiffTable(order=order, entries=entries, policy=policy)
+        self._scratch = array("Q", bytes(8 * order))
         #: The filler predictor seeding dispatch-time slots.  It is trained
         #: here (at write-back) and may be shared with the pipeline's local
         #: value-speculation machinery.
@@ -90,9 +92,17 @@ class HybridGDiffPredictor(ValuePredictor):
         diffing against the window preceding the slot (whatever mix of real
         and filler values it currently holds), and trains the filler.
         """
-        self.queue.deposit(seq, actual)
-        diffs = self._calc_diffs(seq, actual)
-        self.last_distance = self.table.train(pc, diffs)
+        queue = self.queue
+        queue.deposit(seq, actual)
+        vc = queue.valid_depth(seq)  # window validity is always a prefix
+        scratch = self._scratch
+        buf = queue._buf
+        cap = queue._capacity
+        actual &= WORD_MASK
+        for d in range(1, vc + 1):
+            scratch[d - 1] = (actual - buf[(seq - d) % cap]) & WORD_MASK
+        selected = self.table.train_prefix(pc, scratch, vc)
+        self.last_distance = selected if selected else None
         self.filler.update(pc, actual)
 
     def attach_metrics(self, registry, prefix: str = "gdiff.hgvq") -> None:
@@ -135,16 +145,19 @@ class HybridGDiffPredictor(ValuePredictor):
     # Internals
     # ------------------------------------------------------------------
     def _predict_at(self, pc: int, seq: int) -> Optional[int]:
-        entry = self.table.lookup(pc)
-        if entry is None or entry.distance is None:
+        table = self.table
+        row = table.row_of(pc)
+        if row < 0:
             return None
-        diff = entry.diffs[entry.distance - 1]
-        if diff is None:
+        distance = table._dist[row]
+        if distance == 0 or distance > table._valid[row]:
             return None
-        base = self.queue.get(seq, entry.distance)
-        if base is None:
+        queue = self.queue
+        if distance > queue.valid_depth(seq):
             return None
-        return wadd(base, diff)
+        base = queue._buf[(seq - distance) % queue._capacity]
+        return (base + table._diffs[row * table.order + distance - 1]) \
+            & WORD_MASK
 
     def _calc_diffs(self, seq: int, actual: int) -> List[Optional[int]]:
         diffs: List[Optional[int]] = []
@@ -157,6 +170,6 @@ class HybridGDiffPredictor(ValuePredictor):
     def reset(self) -> None:
         order, entries, policy, capacity = self._ctor
         self.queue = SlottedValueQueue(size=order, capacity=capacity)
-        self.table = GDiffTable(order=order, entries=entries, policy=policy)
+        self.table = FlatGDiffTable(order=order, entries=entries, policy=policy)
         self.filler.reset()
         self._trace_seq = None

@@ -33,9 +33,11 @@ bench compares the two.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from array import array
+from typing import Dict, List, Optional, Sequence
 
 from ..tables import DirectMappedTable
+from ..wordops import WORD_MASK
 
 #: Valid distance-selection policies.
 DISTANCE_POLICIES = ("sticky-nearest", "nearest", "farthest")
@@ -178,3 +180,306 @@ class GDiffTable:
 
     def clear(self) -> None:
         self._table.clear()
+
+
+class FlatGDiffTable:
+    """The gDiff table as parallel preallocated flat arrays.
+
+    Behaviourally identical to :class:`GDiffTable` (asserted by
+    ``tests/test_flat_table.py``) but with none of its per-update
+    allocation: rows live in parallel ``array`` columns —
+
+    * ``_diffs``  (``'Q'``): ``order`` stored differences per row, machine
+      words, laid out row-major (row *r* occupies ``[r*order, (r+1)*order)``);
+    * ``_valid``  (``'H'``): how many leading differences in the row are
+      real.  The object table's ``None`` pattern is always a *prefix* —
+      calculated diffs are ``None`` exactly for the distances the queue
+      cannot reach yet, which grow monotonically — so one prefix length
+      replaces ``order`` per-slot ``is None`` tests;
+    * ``_dist``   (``'H'``): the selected distance, 0 meaning "not locked";
+    * ``_present``/``_owner``/``_owner_set``: slot-ever-written flag plus
+      the aliasing-owner state of :class:`~repro.tables.DirectMappedTable`.
+
+    Bounded tables are fully preallocated and indexed by masked PC; the
+    unlimited profile table keeps a dict mapping PC to a row index into a
+    growable arena (arrays double when full), so steady-state training is
+    one dict probe plus array stores either way.
+
+    The hot entry point is :meth:`train_prefix`, which takes the calculated
+    differences as a caller-owned ``array('Q')`` scratch buffer plus its
+    valid prefix length — no list is built and nothing is boxed.
+    :meth:`train`/:meth:`lookup` keep the object table's sequence-of-
+    optionals interface for existing callers and tests; ``train`` assumes
+    the prefix shape described above (every caller in this package
+    satisfies it by construction).
+    """
+
+    _meters: Optional[_TrainMeters] = None
+
+    def __init__(
+        self,
+        order: int = 8,
+        entries: Optional[int] = None,
+        policy: str = "sticky-nearest",
+        track_conflicts: bool = False,
+        refresh_on_match: bool = True,
+        tagged: bool = False,
+        pc_shift: int = 2,
+    ):
+        if order <= 0:
+            raise ValueError("order must be positive")
+        if order >= 1 << 16:
+            raise ValueError("order must fit the 16-bit distance column")
+        if policy not in DISTANCE_POLICIES:
+            raise ValueError(f"unknown distance policy {policy!r}")
+        if entries is not None:
+            if entries <= 0 or entries & (entries - 1):
+                raise ValueError(f"entries must be a power of two, got {entries}")
+        self.order = order
+        self.policy = policy
+        self.refresh_on_match = refresh_on_match
+        self.entries = entries
+        self.pc_shift = pc_shift
+        self.track_conflicts = track_conflicts
+        self.tagged = tagged
+        self.accesses = 0
+        self.conflicts = 0
+        self.evictions = 0
+        self._occupied = 0
+        #: PC -> row index (unlimited mode only; bounded rows are the index).
+        self._rows: Dict[int, int] = {}
+        rows = entries if entries is not None else 256
+        self._nrows = 0  # rows handed out (unlimited mode)
+        self._diffs = array("Q", bytes(8 * rows * order))
+        self._valid = array("H", bytes(2 * rows))
+        self._dist = array("H", bytes(2 * rows))
+        self._present = bytearray(rows)
+        self._owner = array("Q", bytes(8 * rows))
+        self._owner_set = bytearray(rows)
+        self._scratch = array("Q", bytes(8 * order))
+
+    @property
+    def unlimited(self) -> bool:
+        return self.entries is None
+
+    # ------------------------------------------------------------------
+    # Row management
+    # ------------------------------------------------------------------
+    def _grow(self) -> None:
+        """Double the unlimited-mode arena."""
+        self._diffs.extend(self._diffs)
+        self._valid.extend(self._valid)
+        self._dist.extend(self._dist)
+        self._present.extend(bytes(len(self._present)))
+        self._owner.extend(self._owner)
+        self._owner_set.extend(bytes(len(self._owner_set)))
+
+    def row_of(self, pc: int) -> int:
+        """Row index holding *pc*'s entry, or -1 (no accounting, no create).
+
+        Mirrors :meth:`GDiffTable.lookup` visibility: -1 when the slot was
+        never written, or (tagged mode) when it is owned by a different PC.
+        """
+        if self.entries is None:
+            return self._rows.get(pc, -1)
+        idx = (pc >> self.pc_shift) & (self.entries - 1)
+        if not self._present[idx]:
+            return -1
+        if self.tagged and self._owner_set[idx] and self._owner[idx] != pc:
+            return -1
+        return idx
+
+    def train_row(self, pc: int) -> int:
+        """Resolve (creating if needed) *pc*'s row with full accounting.
+
+        Replicates :meth:`DirectMappedTable.lookup_or_create` exactly:
+        counts the access, counts a conflict when the slot's owner is a
+        different PC (``track_conflicts``), evicts-and-restarts on an
+        aliased tagged slot, and records ownership.
+        """
+        self.accesses += 1
+        if self.entries is None:
+            row = self._rows.get(pc, -1)
+            if row < 0:
+                row = self._nrows
+                if row * self.order == len(self._diffs):
+                    self._grow()
+                self._nrows = row + 1
+                self._rows[pc] = row
+                self._present[row] = 1
+                self._occupied += 1
+                self._dist[row] = 0
+                self._valid[row] = 0
+            # An unlimited table cannot alias: owner bookkeeping is dead
+            # weight (owner would always equal pc), so skip it.
+            return row
+        idx = (pc >> self.pc_shift) & (self.entries - 1)
+        if self._present[idx]:
+            if self._owner_set[idx] and self._owner[idx] != pc:
+                if self.track_conflicts:
+                    self.conflicts += 1
+                if self.tagged:
+                    self.evictions += 1
+                    self._dist[idx] = 0
+                    self._valid[idx] = 0
+        else:
+            self._present[idx] = 1
+            self._occupied += 1
+            self._dist[idx] = 0
+            self._valid[idx] = 0
+        if self.track_conflicts or self.tagged:
+            self._owner[idx] = pc
+            self._owner_set[idx] = 1
+        return idx
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def train_prefix(self, pc: int, calc: array, vc: int) -> int:
+        """Apply the paper's update rule from a flat difference vector.
+
+        Args:
+            pc: static PC of the completing instruction.
+            calc: ``array('Q')`` of at least ``order`` words whose first
+                *vc* entries are the calculated differences for distances
+                1..vc (the caller's reusable scratch buffer; entries past
+                *vc* are ignored garbage).
+            vc: number of valid leading differences.
+
+        Returns:
+            The selected distance, or 0 on a mismatch (the flat encoding
+            of :meth:`GDiffTable.train` returning ``None``).
+        """
+        row = self.train_row(pc)
+        order = self.order
+        base = row * order
+        diffs = self._diffs
+        stored_valid = self._valid[row]
+        limit = stored_valid if stored_valid < vc else vc
+        chosen = 0
+        cur = self._dist[row]
+        if (self.policy == "sticky-nearest" and 0 < cur <= limit
+                and diffs[base + cur - 1] == calc[cur - 1]):
+            chosen = cur
+        elif self.policy == "farthest":
+            for d in range(limit, 0, -1):
+                if diffs[base + d - 1] == calc[d - 1]:
+                    chosen = d
+                    break
+        else:
+            for d in range(limit):
+                if diffs[base + d] == calc[d]:
+                    chosen = d + 1
+                    break
+        meters = self._meters
+        if chosen:
+            self._dist[row] = chosen
+            if self.refresh_on_match:
+                # Copy the full row (memcpy); words past vc are garbage but
+                # unreachable, since _valid gates every read.
+                diffs[base:base + order] = calc[:order]
+                self._valid[row] = vc
+            if meters is not None:
+                meters.matches.inc()
+                meters.distance.observe(chosen)
+            return chosen
+        diffs[base:base + order] = calc[:order]
+        self._valid[row] = vc
+        if meters is not None:
+            meters.mismatches.inc()
+        return 0
+
+    def train(self, pc: int, diffs: Sequence[Optional[int]]) -> Optional[int]:
+        """Sequence-of-optionals compatibility wrapper over train_prefix.
+
+        The ``None`` pattern must be a suffix (prefix-valid), which every
+        producer of calculated differences in this package guarantees.
+        """
+        scratch = self._scratch
+        vc = 0
+        order = self.order
+        for v in diffs:
+            if v is None or vc == order:
+                break
+            scratch[vc] = v & WORD_MASK
+            vc += 1
+        selected = self.train_prefix(pc, scratch, vc)
+        return selected if selected else None
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def lookup(self, pc: int) -> Optional[GDiffEntry]:
+        """Return a :class:`GDiffEntry` *snapshot* of *pc*'s row, or None.
+
+        Mutating the snapshot does not write back to the table.
+        """
+        row = self.row_of(pc)
+        if row < 0:
+            return None
+        order = self.order
+        entry = GDiffEntry(order)
+        valid = self._valid[row]
+        base = row * order
+        for i in range(valid):
+            entry.diffs[i] = self._diffs[base + i]
+        d = self._dist[row]
+        entry.distance = d if d else None
+        return entry
+
+    def locked_distances(self) -> Dict[int, int]:
+        """Return {table index: selected distance} for all locked rows."""
+        result: Dict[int, int] = {}
+        dist = self._dist
+        if self.entries is None:
+            for pc, row in self._rows.items():
+                if dist[row]:
+                    result[pc] = dist[row]
+            return result
+        present = self._present
+        for idx in range(self.entries):
+            if present[idx] and dist[idx]:
+                result[idx] = dist[idx]
+        return result
+
+    # ------------------------------------------------------------------
+    # Telemetry / stats (same surface as GDiffTable)
+    # ------------------------------------------------------------------
+    def attach_metrics(self, registry, prefix: str = "gdiff") -> None:
+        """Wire this table into a :class:`~repro.telemetry.MetricsRegistry`.
+
+        Same meters and collectors as :meth:`GDiffTable.attach_metrics`.
+        """
+        self.track_conflicts = True
+        self._meters = _TrainMeters(registry, prefix)
+        table = self
+
+        def _collect(reg):
+            reg.counter(f"{prefix}.table_accesses").value = table.accesses
+            reg.counter(f"{prefix}.table_conflicts").value = table.conflicts
+            reg.counter(f"{prefix}.table_evictions").value = table.evictions
+            reg.gauge(f"{prefix}.table_occupancy").set(table.occupied())
+            reg.gauge(f"{prefix}.table_conflict_rate").set(table.conflict_rate)
+
+        registry.add_collector(_collect)
+
+    @property
+    def conflict_rate(self) -> float:
+        """Aliasing conflict rate of the tagless table (Fig. 9)."""
+        if not self.accesses:
+            return 0.0
+        return self.conflicts / self.accesses
+
+    def occupied(self) -> int:
+        return self._occupied
+
+    def clear(self) -> None:
+        self._rows.clear()
+        self._nrows = 0
+        self._occupied = 0
+        self.accesses = 0
+        self.conflicts = 0
+        self.evictions = 0
+        # Rows are guarded by _present/_rows; buffer words need no zeroing.
+        self._present[:] = bytes(len(self._present))
+        self._owner_set[:] = bytes(len(self._owner_set))

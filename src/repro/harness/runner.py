@@ -11,11 +11,15 @@ Fast path: a :class:`~repro.trace.packed.PackedTrace` exposes its
 value-producing ``(pc, value)`` (and load ``(pc, addr)``) streams as
 precomputed columns, so an un-instrumented profile run walks two flat
 arrays per predictor instead of dereferencing one dataclass per dynamic
-instruction.  The fast loops perform *identical* accounting to the generic
-loop — same :class:`PredictionStats` to the last counter (asserted by
-``tests/test_packed.py``) — and the generic loop remains the only path
-whenever telemetry, events, progress callbacks or the confidence gate
-need per-instruction interleaving.
+instruction.  Predictors with a fused kernel (see
+:mod:`repro.core.kernels`) skip even the per-pair predict/update calls;
+the rest use the tight per-predictor loops below.  All fast paths perform
+*identical* accounting to the generic loop — same
+:class:`PredictionStats` to the last counter (asserted by
+``tests/test_packed.py`` and ``tests/test_kernel_equivalence.py``) — and
+the generic loop remains the only path whenever telemetry, events or
+progress callbacks need per-instruction interleaving.  ``REPRO_KERNELS=0``
+forces the non-kernel loops.
 """
 
 from __future__ import annotations
@@ -23,6 +27,7 @@ from __future__ import annotations
 import itertools
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
+from ..core.kernels import run_pairs as _kernel_pairs
 from ..predictors.base import PredictionStats, ValuePredictor
 from ..predictors.confidence import ConfidenceTable
 from ..predictors.markov import MarkovPredictor
@@ -96,11 +101,18 @@ def run_value_prediction(
         {predictor name: PredictionStats}.
     """
     stats = {name: PredictionStats() for name in predictors}
-    if (not gated and metrics is None and events is None
-            and on_progress is None and hasattr(trace, "value_pairs")):
+    if (metrics is None and events is None and on_progress is None
+            and hasattr(trace, "value_pairs")):
         pcs, values = trace.value_pairs()
+        if not gated:
+            for name, predictor in predictors.items():
+                if not _kernel_pairs(predictor, pcs, values, stats[name]):
+                    _profile_pairs(predictor, pcs, values, stats[name])
+            return stats
         for name, predictor in predictors.items():
-            _profile_pairs(predictor, pcs, values, stats[name])
+            conf = ConfidenceTable()
+            if not _kernel_pairs(predictor, pcs, values, stats[name], conf):
+                _gated_pairs(predictor, conf, pcs, values, stats[name])
         return stats
     confidence = {name: ConfidenceTable() if gated else None for name in predictors}
     # Per-predictor memo of each confidence slot's current gate state:
@@ -196,24 +208,22 @@ def run_value_prediction(
     return stats
 
 
-def _address_pairs(predictor: ValuePredictor, conf: Optional[ConfidenceTable],
-                   pcs, addrs, stats: PredictionStats) -> None:
-    """Tight Section 6 loop over packed load ``(pc, addr)`` columns."""
+def _gated_pairs(predictor: ValuePredictor, conf: ConfidenceTable,
+                 pcs, values, stats: PredictionStats) -> None:
+    """Tight confidence-gated loop over packed ``(pc, value)`` columns.
+
+    The single-predictor form of the generic gated loop (same memoised
+    gate state, same record/train interleaving); also the Section 6 loop
+    for PC-indexed address predictors.
+    """
     update = predictor.update
     record = stats.record
-    if conf is None:
-        predict_confident = predictor.predict_confident
-        for pc, actual in zip(pcs, addrs):
-            predicted, is_confident = predict_confident(pc)
-            record(predicted, actual, is_confident)
-            update(pc, actual)
-        return
     predict = predictor.predict
     train = conf.train
     index = conf.index
     is_conf = conf.is_confident
     state: Dict[int, bool] = {}
-    for pc, actual in zip(pcs, addrs):
+    for pc, actual in zip(pcs, values):
         predicted = predict(pc)
         slot = index(pc)
         confident_now = state.get(slot)
@@ -223,6 +233,21 @@ def _address_pairs(predictor: ValuePredictor, conf: Optional[ConfidenceTable],
         if predicted is not None:
             confident_now = train(pc, predicted == actual)
         state[slot] = confident_now
+        update(pc, actual)
+
+
+def _address_pairs(predictor: ValuePredictor, conf: Optional[ConfidenceTable],
+                   pcs, addrs, stats: PredictionStats) -> None:
+    """Tight Section 6 loop over packed load ``(pc, addr)`` columns."""
+    if conf is not None:
+        _gated_pairs(predictor, conf, pcs, addrs, stats)
+        return
+    update = predictor.update
+    record = stats.record
+    predict_confident = predictor.predict_confident
+    for pc, actual in zip(pcs, addrs):
+        predicted, is_confident = predict_confident(pc)
+        record(predicted, actual, is_confident)
         update(pc, actual)
 
 
@@ -260,8 +285,10 @@ def run_address_prediction(
     if miss_filter is None and hasattr(trace, "load_pairs"):
         pcs, addrs = trace.load_pairs()
         for name, predictor in predictors.items():
-            _address_pairs(predictor, confidence[name], pcs, addrs,
-                           stats[name])
+            conf = confidence[name]
+            if conf is None or not _kernel_pairs(predictor, pcs, addrs,
+                                                 stats[name], conf):
+                _address_pairs(predictor, conf, pcs, addrs, stats[name])
         return stats
     items = list(predictors.items())
     for insn in trace:

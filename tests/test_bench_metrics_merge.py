@@ -1,0 +1,105 @@
+"""BENCH_metrics.json must be merged, not clobbered, across sessions.
+
+Partial bench runs are the norm (one figure at a time), so a session that
+records only its own benches must leave every other section of the
+document intact.  These tests drive the ``pytest_sessionfinish`` hook of
+``benchmarks/conftest.py`` directly against a temporary document.
+"""
+
+import importlib.util
+import json
+import pathlib
+import types
+
+import pytest
+
+CONFTEST = (pathlib.Path(__file__).parent.parent
+            / "benchmarks" / "conftest.py")
+
+
+@pytest.fixture
+def bench_conftest(tmp_path, monkeypatch):
+    """Load benchmarks/conftest.py as a throwaway module with its metrics
+    document pointed at a temp file."""
+    spec = importlib.util.spec_from_file_location(
+        f"bench_conftest_{tmp_path.name}", CONFTEST)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    monkeypatch.setattr(module, "METRICS_PATH", tmp_path / "metrics.json")
+    return module
+
+
+def finish(module, exitstatus=0):
+    module.pytest_sessionfinish(session=None, exitstatus=exitstatus)
+
+
+def record_bench(module, nodeid, duration=1.0, outcome="passed"):
+    report = types.SimpleNamespace(when="call", nodeid=nodeid,
+                                   outcome=outcome, duration=duration)
+    module.pytest_runtest_logreport(report)
+
+
+def test_new_sections_merge_into_existing_document(bench_conftest):
+    module = bench_conftest
+    module.METRICS_PATH.write_text(json.dumps({
+        "schema": 1,
+        "exit_status": 0,
+        "benches": {"benchmarks/bench_old.py::bench_old": {
+            "outcome": "passed", "duration_s": 2.5}},
+        "archived": ["fig16"],
+        "metrics": {"fastpath": {"fig8_end_to_end_speedup": 1.7,
+                                 "cache_load_speedup_gcc": 9.0}},
+    }))
+    record_bench(module, "benchmarks/bench_new.py::bench_new", duration=0.5)
+    module._session_records["archived"].append("fig8")
+    module._session_records["metrics"]["kernels"] = {
+        "gdiff_kernel_speedup": 3.0}
+    finish(module)
+
+    merged = json.loads(module.METRICS_PATH.read_text())
+    assert "benchmarks/bench_old.py::bench_old" in merged["benches"]
+    assert "benchmarks/bench_new.py::bench_new" in merged["benches"]
+    assert merged["archived"] == ["fig16", "fig8"]
+    # Prior sections survive alongside the new one.
+    assert merged["metrics"]["fastpath"]["fig8_end_to_end_speedup"] == 1.7
+    assert merged["metrics"]["kernels"]["gdiff_kernel_speedup"] == 3.0
+    assert merged["total_wall_s"] == 3.0
+
+
+def test_rerun_replaces_stale_values_in_same_section(bench_conftest):
+    module = bench_conftest
+    module.METRICS_PATH.write_text(json.dumps({
+        "benches": {"benchmarks/bench_k.py::bench_k": {
+            "outcome": "failed", "duration_s": 9.0}},
+        "metrics": {"kernels": {"gdiff_kernel_speedup": 1.1,
+                                "fig8_kernel_speedup": 2.0}},
+    }))
+    record_bench(module, "benchmarks/bench_k.py::bench_k", duration=0.5)
+    module._session_records["metrics"]["kernels"] = {
+        "gdiff_kernel_speedup": 3.3}
+    finish(module)
+
+    merged = json.loads(module.METRICS_PATH.read_text())
+    bench = merged["benches"]["benchmarks/bench_k.py::bench_k"]
+    assert bench == {"outcome": "passed", "duration_s": 0.5}
+    kernels = merged["metrics"]["kernels"]
+    assert kernels["gdiff_kernel_speedup"] == 3.3
+    assert kernels["fig8_kernel_speedup"] == 2.0  # untouched key survives
+
+
+def test_corrupt_previous_document_degrades_to_fresh(bench_conftest):
+    module = bench_conftest
+    module.METRICS_PATH.write_text("{not json")
+    record_bench(module, "benchmarks/bench_x.py::bench_x")
+    finish(module, exitstatus=1)
+    merged = json.loads(module.METRICS_PATH.read_text())
+    assert merged["exit_status"] == 1
+    assert list(merged["benches"]) == ["benchmarks/bench_x.py::bench_x"]
+
+
+def test_no_benches_recorded_leaves_document_alone(bench_conftest):
+    module = bench_conftest
+    module.METRICS_PATH.write_text(json.dumps({"benches": {"a": {}}}))
+    finish(module)
+    assert json.loads(module.METRICS_PATH.read_text()) == {
+        "benches": {"a": {}}}

@@ -250,3 +250,15 @@ class TestRunAllCommand:
     def test_rejects_unknown_experiment(self):
         with pytest.raises(SystemExit):
             main(["run-all", "--experiments", "figZZ"])
+
+    def test_profile_prints_hot_path_to_stderr(self, capsys):
+        assert main(["run-all", "--experiments", "fig8",
+                     "--length", "5000", "--bench", "gzip",
+                     "--profile", "--no-progress"]) == 0
+        captured = capsys.readouterr()
+        assert "fig8" in captured.out
+        assert "cProfile: top 20 by cumulative time" in captured.err
+        assert "cumtime" in captured.err
+        # The profiled run must be the run: the experiment work itself
+        # shows up in the table, not just harness scaffolding.
+        assert "run_value_prediction" in captured.err

@@ -79,6 +79,57 @@ class TestGlobalValueQueue:
         assert q.get(1) is None
         assert q.total_pushed == 0
 
+    def test_delay_equals_size(self):
+        # Window and delay regions never overlap: every visible slot must
+        # be backed by distinct ring storage.
+        q = GlobalValueQueue(size=3, delay=3)
+        for v in (1, 2, 3):
+            q.push(v)
+        assert q.visible() == [None, None, None]
+        for v in (4, 5, 6):
+            q.push(v)
+        assert q.visible() == [3, 2, 1]
+
+    def test_delay_exceeds_size(self):
+        q = GlobalValueQueue(size=2, delay=5)
+        for v in range(1, 8):
+            q.push(v)
+        # 7 pushes, 5 most recent hidden: distances 1..2 see values 2, 1.
+        assert q.get(1) == 2
+        assert q.get(2) == 1
+
+    def test_delay_zero_window_tracks_every_push(self):
+        q = GlobalValueQueue(size=2, delay=0)
+        q.push(7)
+        assert q.visible() == [7, None]
+        q.push(8)
+        assert q.visible() == [8, 7]
+        q.push(9)
+        assert q.visible() == [9, 8]
+
+    def test_valid_mask_is_contiguous_prefix(self):
+        # The flat kernels rely on the visible window always being a
+        # contiguous prefix of distances 1..k.
+        q = GlobalValueQueue(size=4, delay=2)
+        masks = []
+        for v in range(9):
+            masks.append(q.valid_mask())
+            q.push(v)
+        masks.append(q.valid_mask())
+        assert masks == [0, 0, 0, 1, 3, 7, 15, 15, 15, 15]
+
+    def test_clear_resets_delay_accounting(self):
+        q = GlobalValueQueue(size=2, delay=2)
+        for v in (1, 2, 3):
+            q.push(v)
+        q.clear()
+        assert q.visible() == [None, None]
+        q.push(4)
+        q.push(5)
+        assert q.get(1) is None  # delay applies afresh after clear
+        q.push(6)
+        assert q.get(1) == 4
+
 
 class TestSlottedValueQueue:
     def test_validation(self):

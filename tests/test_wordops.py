@@ -57,6 +57,35 @@ class TestAddSub:
         assert wsub(0xABCD, 0xABCD) == 0
 
 
+class TestSignBoundary:
+    """Wrap behaviour at the 2^63 sign boundary, where the predictor
+    kernels' raw ``(a - b) & MASK`` arithmetic must agree with wsub/wadd."""
+
+    HALF = 1 << (WORD_BITS - 1)
+
+    def test_add_across_sign_boundary(self):
+        assert wadd(self.HALF - 1, 1) == self.HALF
+        assert wadd(self.HALF, self.HALF) == 0
+
+    def test_sub_across_sign_boundary(self):
+        assert wsub(self.HALF, 1) == self.HALF - 1
+        assert wsub(self.HALF - 1, self.HALF) == WORD_MASK
+
+    def test_roundtrip_identities_at_boundaries(self):
+        # wadd(b, wsub(a, b)) == a and wsub(wadd(a, b), b) == a for words
+        # straddling every boundary the value streams can produce.
+        specials = [0, 1, self.HALF - 1, self.HALF, self.HALF + 1,
+                    WORD_MASK - 1, WORD_MASK]
+        for a in specials:
+            for b in specials:
+                assert wadd(b, wsub(a, b)) == a
+                assert wsub(wadd(a, b), b) == a
+
+    def test_signed_view_of_boundary_strides(self):
+        assert to_signed(wsub(0, self.HALF)) == -to_signed(self.HALF - 1) - 1
+        assert to_signed(wsub(self.HALF, self.HALF + 8)) == -8
+
+
 class TestSigned:
     def test_positive_roundtrip(self):
         assert to_signed(from_signed(123)) == 123
