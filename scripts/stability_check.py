@@ -8,7 +8,7 @@ single-seed artefact.  Used during development and for reviewer
 due-diligence; not part of the test suite (it takes a couple of
 minutes).
 
-Usage: python scripts/stability_check.py [n_seeds]
+Usage: python scripts/stability_check.py [n_seeds] [length]
 """
 
 import sys
@@ -37,10 +37,11 @@ def fig8_shape(seed_offset: int, length: int = 60_000) -> dict:
 
 def main() -> None:
     n_seeds = int(sys.argv[1]) if len(sys.argv) > 1 else 3
+    length = int(sys.argv[2]) if len(sys.argv) > 2 else 60_000
     print(f"{'seed+':>6s} {'stride':>8s} {'dfcm':>8s} {'gdiff8':>8s}  shape")
     ok = True
     for offset in range(n_seeds):
-        averages = fig8_shape(offset)
+        averages = fig8_shape(offset, length=length)
         holds = (averages["gdiff8"] > averages["dfcm"] > averages["stride"]
                  and averages["gdiff8"] - averages["stride"] > 0.08)
         ok &= holds

@@ -1,0 +1,33 @@
+"""Experiment-campaign orchestration: declarative sweeps, a durable
+content-addressed results store, and resumable fault-tolerant scheduling.
+
+The paper's evidence is a large parametric study; this package makes such
+studies declarative (``spec``), durable (``store``), restartable and
+crash-tolerant (``scheduler``), and checkable against the paper's
+headline numbers (``fidelity``), with reporting straight from the store
+(``report``).  The CLI front end is ``repro campaign run|status|report|
+resume`` (see docs/CAMPAIGNS.md).
+"""
+
+from .fidelity import FidelityCheck, check_fidelity, render_checks
+from .report import render_report, report_tables, status_lines
+from .scheduler import CampaignRunSummary, CampaignScheduler, RetryPolicy
+from .spec import CampaignSpec, Cell, SpecError
+from .store import CampaignStore, StoreError
+
+__all__ = [
+    "CampaignSpec",
+    "Cell",
+    "SpecError",
+    "CampaignStore",
+    "StoreError",
+    "CampaignScheduler",
+    "CampaignRunSummary",
+    "RetryPolicy",
+    "FidelityCheck",
+    "check_fidelity",
+    "render_checks",
+    "render_report",
+    "report_tables",
+    "status_lines",
+]

@@ -1,0 +1,131 @@
+"""Paper-fidelity gate: compare stored headline numbers against targets.
+
+A spec's ``[[fidelity]]`` entries declare where a headline number lives
+and what it should be::
+
+    [[fidelity]]
+    label = "fig8 gdiff8 average"        # human name for the check
+    where = { experiment = "fig8" }      # subset-match on cell params
+    row = "average"                      # experiment cells: table cell
+    column = "gdiff8"
+    target = 0.674
+    tol = 0.05                           # |actual - target| <= tol
+
+    [[fidelity]]
+    label = "gcc gdiff raw accuracy"
+    where = { predictor = "gdiff", bench = "gcc" }
+    metric = "raw_accuracy"              # predict cells: stats field
+    target = 0.678
+    tol = 0.05
+
+The gate runs entirely from the store — no recomputation — so ``repro
+campaign report --check`` is cheap enough for CI, where a drifting
+headline number (a regression in a predictor, a workload spec change)
+fails the build instead of silently shipping a worse reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from .spec import CampaignSpec, _matches
+from .store import CampaignStore
+
+
+@dataclass
+class FidelityCheck:
+    """Outcome of one declared target."""
+
+    label: str
+    target: float
+    tol: float
+    actual: Optional[float] = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return (self.actual is not None and self.error is None
+                and abs(self.actual - self.target) <= self.tol)
+
+    def render(self) -> str:
+        mark = "PASS" if self.ok else "FAIL"
+        if self.actual is None:
+            detail = self.error or "no matching completed cell"
+            return f"  {mark}  {self.label}: {detail}"
+        return (f"  {mark}  {self.label}: actual {self.actual:.4f} vs "
+                f"target {self.target:.4f} ± {self.tol:.4f}")
+
+
+def _extract(target: Dict[str, Any],
+             record: Dict[str, Any]) -> Optional[float]:
+    """Pull the declared value out of one completed cell record."""
+    result = record.get("result", {})
+    if "row" in target and "column" in target:
+        table = result.get("experiment")
+        if table is None:
+            return None
+        columns = table.get("columns", [])
+        if target["column"] not in columns:
+            return None
+        col = columns.index(target["column"])
+        for row in table.get("rows", []):
+            if row[0] == target["row"]:
+                return float(row[col])
+        return None
+    metric = target.get("metric", "raw_accuracy")
+    stats = result.get("stats")
+    if stats is None:
+        return None
+    predictor = target.get("where", {}).get("predictor")
+    if predictor is None and len(stats) == 1:
+        predictor = next(iter(stats))
+    entry = stats.get(predictor, {})
+    value = entry.get(metric)
+    return float(value) if value is not None else None
+
+
+def check_fidelity(spec: CampaignSpec,
+                   store: CampaignStore) -> List[FidelityCheck]:
+    """Evaluate every declared target against the store's completed cells.
+
+    A target with no completed matching cell — or whose row/column/metric
+    does not exist in the matching record — fails (a gate that cannot
+    find its number must not pass vacuously).
+    """
+    checks: List[FidelityCheck] = []
+    cells = spec.cells()
+    for target in spec.fidelity:
+        check = FidelityCheck(
+            label=str(target.get("label")
+                      or f"target on {target.get('where', {})}"),
+            target=float(target["target"]),
+            tol=float(target.get("tol", 0.0)),
+        )
+        where = target.get("where", {})
+        matching = [c for c in cells if _matches(c.params, where)]
+        if not matching:
+            check.error = "no cell in the grid matches 'where'"
+        else:
+            done = [c for c in matching if store.is_done(c.cell_id)]
+            if not done:
+                check.error = "matching cell(s) not completed yet"
+            elif len(done) > 1:
+                check.error = (f"'where' is ambiguous: matches "
+                               f"{len(done)} completed cells")
+            else:
+                value = _extract(target, store.load_cell(done[0].cell_id))
+                if value is None:
+                    check.error = ("declared row/column/metric not found "
+                                   "in the cell record")
+                else:
+                    check.actual = value
+        checks.append(check)
+    return checks
+
+
+def render_checks(checks: List[FidelityCheck]) -> str:
+    lines = [f"fidelity gate: {sum(c.ok for c in checks)}/{len(checks)} "
+             "targets within tolerance"]
+    lines += [c.render() for c in checks]
+    return "\n".join(lines)

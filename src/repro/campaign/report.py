@@ -1,0 +1,112 @@
+"""Status and report rendering for campaign stores.
+
+Everything here reads the store alone — the snapshot in ``campaign.json``
+carries the resolved cells, so ``repro campaign status|report`` work on a
+bare directory with no spec file and no recomputation.  Experiment cells
+re-render through the same :class:`~repro.harness.report.ExperimentResult`
+path the live harness uses, so a campaign report of ``fig8`` is
+byte-identical to what ``repro run-all`` printed when the cells ran.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from ..harness.report import ExperimentResult
+from .spec import Cell, CampaignSpec
+from .store import STATUS_DONE, STATUS_QUARANTINED, CampaignStore
+
+
+def status_lines(spec: CampaignSpec, store: CampaignStore) -> List[str]:
+    """Per-cell one-liners plus a totals header."""
+    cells = spec.cells()
+    counts = {"done": 0, "quarantined": 0, "pending": 0}
+    rows: List[Tuple[str, str, str]] = []
+    for cell in cells:
+        status = store.status(cell.cell_id)
+        counts[status] = counts.get(status, 0) + 1
+        detail = ""
+        summary = store.summary(cell.cell_id)
+        if summary is not None:
+            if status == STATUS_DONE and summary.get("duration_s"):
+                detail = f"{summary['duration_s']:.2f}s"
+            elif status == STATUS_QUARANTINED:
+                detail = summary.get("error", "")
+        rows.append((cell.label, status, detail))
+    width = max(len(label) for label, _s, _d in rows)
+    lines = [
+        f"campaign {spec.name}: {len(cells)} cells — "
+        f"{counts['done']} done, {counts['pending']} pending, "
+        f"{counts['quarantined']} quarantined",
+    ]
+    for label, status, detail in rows:
+        line = f"  {label.ljust(width)}  {status}"
+        if detail:
+            line += f"  {detail}"
+        lines.append(line)
+    return lines
+
+
+def _predict_table(cells_with_records: List[Tuple[Cell, Dict[str, Any]]],
+                   name: str) -> ExperimentResult:
+    """Fold completed ``predict`` cells into one sweep table."""
+    axes = sorted({k for cell, _r in cells_with_records
+                   for k in cell.params})
+    gated = any(cell.params.get("gated") for cell, _r in cells_with_records)
+    columns = ["cell", "raw_acc"] + (["accuracy", "coverage"] if gated
+                                     else [])
+    result = ExperimentResult(
+        name=name,
+        title="campaign predictor sweep",
+        columns=columns,
+        kinds={c: "rate" for c in columns[1:]},
+        notes=[f"axes: {', '.join(axes)}"],
+    )
+    for cell, record in cells_with_records:
+        stats = record["result"]["stats"][cell.params["predictor"]]
+        row = [stats["raw_accuracy"]]
+        if gated:
+            row += [stats["accuracy"], stats["coverage"]]
+        result.add_row(cell.label, *row)
+    return result
+
+
+def report_tables(spec: CampaignSpec,
+                  store: CampaignStore) -> List[ExperimentResult]:
+    """Rebuild every renderable table from the store's completed cells.
+
+    One table per completed experiment cell (the stored
+    ``ExperimentResult`` verbatim), plus one aggregated sweep table for
+    all completed ``predict`` cells.
+    """
+    tables: List[ExperimentResult] = []
+    predict_cells: List[Tuple[Cell, Dict[str, Any]]] = []
+    for cell in spec.cells():
+        if not store.is_done(cell.cell_id):
+            continue
+        record = store.load_cell(cell.cell_id)
+        if cell.kind == "experiment":
+            tables.append(
+                ExperimentResult.from_dict(record["result"]["experiment"]))
+        else:
+            predict_cells.append((cell, record))
+    if predict_cells:
+        tables.append(_predict_table(predict_cells,
+                                     f"{spec.name}-predict"))
+    return tables
+
+
+def render_report(spec: CampaignSpec, store: CampaignStore) -> str:
+    """The full human-readable report: status, tables, quarantine notes."""
+    sections = ["\n".join(status_lines(spec, store))]
+    sections += [table.render() for table in report_tables(spec, store)]
+    quarantined = [c for c in spec.cells()
+                   if store.status(c.cell_id) == STATUS_QUARANTINED]
+    if quarantined:
+        lines = ["quarantined cells (excluded from the tables above):"]
+        for cell in quarantined:
+            record = store.load_quarantine(cell.cell_id)
+            lines.append(f"  {cell.label}: {record.get('error', '?')} "
+                         f"after {record.get('attempts', '?')} attempt(s)")
+        sections.append("\n".join(lines))
+    return "\n\n".join(sections)

@@ -1,0 +1,419 @@
+"""Resumable, fault-tolerant campaign execution.
+
+The scheduler walks the campaign grid and drives every *pending* cell to
+one of two terminal states — completed (a record in the store) or
+quarantined (a record with the traceback) — while guaranteeing:
+
+* **Resumability**: a cell already in the store is skipped, never
+  recomputed; killing a campaign at any instant loses at most the cells
+  in flight.  Completed records are never rewritten on resume.
+* **Fault isolation**: an exception inside a cell is caught *in the
+  worker* and returned as data, retried with capped exponential backoff,
+  and finally quarantined — one broken configuration cannot abort the
+  other cells.  A worker that dies outright (segfault, OOM-kill) breaks
+  its process pool; the scheduler recreates the pool on the next round
+  and re-tries only the casualties, so a poisoned cell eventually lands
+  in quarantine while its siblings complete.
+* **Determinism**: a worker computes exactly what a direct
+  :func:`~repro.harness.experiments.run_experiment` /
+  :func:`~repro.harness.runner.run_value_prediction` call computes — same
+  functions, fresh state — so campaign records equal direct harness
+  results (asserted by ``tests/test_campaign.py``).
+
+The trace cache is warmed once up front (unique ``(bench, length, seed,
+code_copies)`` tuples across the whole grid) so workers start from warm
+loads instead of racing to generate; combined with the cache's per-key
+generation lock, each distinct trace is generated at most once per
+machine, ever.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from ..harness.parallel import TASK_OK, default_workers, run_tasks
+from ..telemetry import MetricsRegistry, RunManifest, get_logger
+from ..trace.cache import cache_enabled, default_cache
+from .spec import Cell, CampaignSpec
+from .store import CampaignStore
+
+log = get_logger("repro.campaign.scheduler")
+
+#: Trace usage of each registry experiment, used to warm the cache before
+#: the pool starts: (default length, default code_copies, fixed bench).
+#: ``length`` / ``code_copies`` / ``benchmarks`` params override these.
+_EXPERIMENT_TRACE_HINTS: Dict[str, Tuple[int, int, Optional[str]]] = {
+    "fig8": (100_000, 1, None),
+    "fig9": (100_000, 8, None),
+    "fig10": (100_000, 1, None),
+    "fig12": (50_000, 4, "vortex"),
+    "fig13": (50_000, 4, None),
+    "fig16": (50_000, 4, None),
+    "fig18a": (100_000, 1, None),
+    "fig18b": (100_000, 1, None),
+    "table2": (50_000, 4, None),
+    "fig19": (50_000, 4, None),
+}
+
+
+@dataclass
+class RetryPolicy:
+    """Capped exponential backoff between retry rounds."""
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.25
+    backoff_cap_s: float = 8.0
+
+    def delay(self, round_no: int) -> float:
+        if round_no <= 0:
+            return 0.0
+        return min(self.backoff_cap_s,
+                   self.backoff_base_s * (2 ** (round_no - 1)))
+
+
+@dataclass
+class CampaignRunSummary:
+    """What one scheduler invocation did (not the store's total state)."""
+
+    total: int = 0
+    completed: int = 0
+    skipped: int = 0
+    retried: int = 0
+    quarantined: int = 0
+    crashes: int = 0
+    stopped_early: bool = False
+    quarantined_labels: List[str] = field(default_factory=list)
+
+    @property
+    def remaining(self) -> int:
+        return self.total - self.completed - self.skipped - self.quarantined
+
+
+# ---------------------------------------------------------------------------
+# Worker side (subprocess): everything below must be picklable/importable.
+# ---------------------------------------------------------------------------
+def _make_predictor(params: Dict[str, Any]):
+    """Build the predictor of a ``predict`` cell from its axes."""
+    from ..core.gdiff import GDiffPredictor
+    from ..core.hybrid import HybridGDiffPredictor
+    from ..predictors.dfcm import DFCMPredictor
+    from ..predictors.last_value import LastValuePredictor
+    from ..predictors.stride import StridePredictor
+
+    name = params["predictor"]
+    entries = params.get("entries")
+    if name == "gdiff":
+        return GDiffPredictor(order=params.get("order", 8), entries=entries,
+                              delay=params.get("delay", 0))
+    if name == "hgvq":
+        return HybridGDiffPredictor(order=params.get("order", 32),
+                                    entries=entries)
+    if name == "stride":
+        return StridePredictor(entries=entries)
+    if name == "dfcm":
+        return DFCMPredictor(order=params.get("order", 4),
+                             l1_entries=entries)
+    if name == "last-value":
+        return LastValuePredictor(entries=entries)
+    raise ValueError(f"unknown predictor {name!r}")
+
+
+def _execute_cell(config: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one cell to completion and return its record payload."""
+    from ..harness.experiments import run_experiment
+    from ..harness.runner import run_value_prediction
+    from ..trace.cache import cached_trace
+
+    registry = MetricsRegistry()
+    kind = config["kind"]
+    params = dict(config["params"])
+    started = time.perf_counter()
+    if kind == "experiment":
+        name = params.pop("experiment")
+        result = run_experiment(name, registry=registry, **params)
+        payload: Dict[str, Any] = {"experiment": result.as_dict()}
+    else:
+        trace = cached_trace(params["bench"], params.get("length", 100_000),
+                             seed=params.get("seed"),
+                             code_copies=params.get("code_copies", 1),
+                             metrics=registry)
+        predictor = _make_predictor(params)
+        with registry.timer("predict"):
+            stats = run_value_prediction(
+                trace, {params["predictor"]: predictor},
+                gated=bool(params.get("gated", False)))
+        payload = {"stats": {name: s.as_dict()
+                             for name, s in stats.items()}}
+    manifest = RunManifest("campaign-cell", config)
+    manifest.finish()
+    return {
+        "payload": payload,
+        "metrics": registry.as_dict(),
+        "duration_s": time.perf_counter() - started,
+        "manifest": manifest.as_dict(),
+    }
+
+
+def _cell_worker(config: Dict[str, Any]) -> Tuple[str, Any]:
+    """Pool entry point: soft failures come back as data, never as an
+    exception that would poison the pool."""
+    try:
+        return ("done", _execute_cell(config))
+    except Exception as exc:
+        return ("failed", f"{type(exc).__name__}: {exc}",
+                traceback.format_exc())
+
+
+def _crashing_cell_worker(config):  # pragma: no cover - subprocess
+    """Fault injection: every cell hard-kills its worker (and pool)."""
+    os._exit(13)
+
+
+def _crash_marked_cell_worker(config):  # pragma: no cover - subprocess
+    """Fault injection: cells whose params carry ``crash_marker`` die
+    hard; everything else runs normally."""
+    if config["params"].get("length") == 4242:
+        os._exit(13)
+    return _cell_worker(config)
+
+
+# ---------------------------------------------------------------------------
+# Driver side
+# ---------------------------------------------------------------------------
+class CampaignScheduler:
+    """Drive a campaign's pending cells through the worker pool.
+
+    Args:
+        spec: the campaign (its grid defines the cells).
+        store: where results land; must already be created/opened.
+        max_workers: pool size (``None`` = all cores, ``1`` = in-process).
+        retry: retry/backoff policy for failed and crashed cells.
+        registry: optional driver-side metrics registry; receives the
+            ``campaign.*`` counters plus every successful worker's merged
+            snapshot.
+        on_progress: ``(cells_accounted, total)`` callback — counts
+            skipped, completed, and quarantined cells.
+        stop_after: execute at most this many new cells, then stop
+            cleanly (used by the interrupt/resume tests and CI).
+        warm: pre-populate the trace cache before the pool starts.
+        cell_worker: the pool entry point (overridable for fault
+            injection; the default runs the real cell body).
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        store: CampaignStore,
+        max_workers: Optional[int] = None,
+        retry: Optional[RetryPolicy] = None,
+        registry: Optional[MetricsRegistry] = None,
+        on_progress: Optional[Callable[[int, int], None]] = None,
+        stop_after: Optional[int] = None,
+        warm: bool = True,
+        cell_worker: Callable[[Dict[str, Any]], Tuple[str, Any]] = _cell_worker,
+    ):
+        self.spec = spec
+        self.store = store
+        self.max_workers = (default_workers() if max_workers is None
+                            else max_workers)
+        self.retry = retry or RetryPolicy()
+        self.registry = registry
+        self.on_progress = on_progress
+        self.stop_after = stop_after
+        self.warm = warm
+        self.cell_worker = cell_worker
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self.registry is not None:
+            self.registry.counter(f"campaign.{name}").inc(amount)
+
+    # -- cache warm-up ----------------------------------------------------
+    def warm_plan(self, cells: List[Cell]) -> Set[Tuple[str, int, Optional[int], int]]:
+        """Unique ``(bench, length, seed, code_copies)`` tuples the grid
+        will pull through the trace cache."""
+        from ..trace.workloads import BENCHMARKS
+
+        plan: Set[Tuple[str, int, Optional[int], int]] = set()
+        for cell in cells:
+            params = cell.params
+            if cell.kind == "predict":
+                plan.add((params["bench"], params.get("length", 100_000),
+                          params.get("seed"),
+                          params.get("code_copies", 1)))
+                continue
+            name = params["experiment"]
+            hint = _EXPERIMENT_TRACE_HINTS.get(name)
+            if hint is None:
+                continue
+            default_length, copies, fixed_bench = hint
+            length = params.get("length", default_length)
+            copies = params.get("code_copies", copies)
+            if fixed_bench is not None:
+                benches = [params.get("bench", fixed_bench)]
+            else:
+                benches = params.get("benchmarks", BENCHMARKS)
+            for bench in benches:
+                plan.add((bench, length, None, copies))
+        return plan
+
+    def warm_cache(self, cells: List[Cell]) -> int:
+        """Generate-or-load every trace the grid needs, once, up front."""
+        if not cache_enabled():
+            return 0
+        plan = sorted(self.warm_plan(cells),
+                      key=lambda t: (t[0], t[1], t[3]))
+        cache = default_cache(metrics=self.registry)
+        timer = (self.registry.timer("campaign/warm")
+                 if self.registry is not None else None)
+        span = timer.__enter__() if timer is not None else None
+        warmed = 0
+        try:
+            for bench, length, seed, copies in plan:
+                # Best effort: a bad cell config (e.g. negative length) must
+                # surface as a quarantined cell, not abort the whole run here.
+                try:
+                    cache.load_or_generate(bench, length, seed=seed,
+                                           code_copies=copies)
+                    warmed += 1
+                except Exception as exc:
+                    log.warning("cache warm failed for %s length=%s: %s",
+                                bench, length, exc)
+        finally:
+            if timer is not None:
+                span.items = warmed
+                timer.__exit__(None, None, None)
+        log.info("warmed %d trace cache entries", warmed)
+        return warmed
+
+    # -- the main loop ----------------------------------------------------
+    def run(self) -> CampaignRunSummary:
+        cells = self.spec.cells()
+        summary = CampaignRunSummary(total=len(cells))
+        if self.registry is not None:
+            self.registry.gauge("campaign.cells.total").set(len(cells))
+
+        pending = [c for c in cells if not self.store.is_done(c.cell_id)]
+        summary.skipped = len(cells) - len(pending)
+        self._count("cells.skipped", summary.skipped)
+        accounted = summary.skipped
+        if self.on_progress is not None:
+            self.on_progress(accounted, len(cells))
+        if not pending:
+            return summary
+
+        if self.warm:
+            self.warm_cache(pending)
+
+        attempts: Dict[str, int] = {}
+        round_no = 0
+        isolate = False
+        while pending:
+            budget = len(pending)
+            if self.stop_after is not None:
+                budget = self.stop_after - summary.completed
+                if budget <= 0:
+                    summary.stopped_early = True
+                    break
+            batch, rest = pending[:budget], pending[budget:]
+            delay = self.retry.delay(round_no)
+            if delay:
+                log.info("retry round %d: backing off %.2fs for %d "
+                         "cell(s)", round_no, delay, len(batch))
+                time.sleep(delay)
+            if isolate and self.max_workers > 1:
+                # The previous round lost its pool to a crashing worker,
+                # which also breaks innocent siblings' futures.  Re-try
+                # each casualty in a pool of its own so the poisoned cell
+                # can only take itself down.
+                outcomes = []
+                for c in batch:
+                    outcomes.extend(run_tasks(
+                        self.cell_worker, [c.config()],
+                        max_workers=self.max_workers,
+                        registry=self.registry))
+            else:
+                outcomes = run_tasks(
+                    self.cell_worker, [c.config() for c in batch],
+                    max_workers=self.max_workers, registry=self.registry)
+            requeue: List[Cell] = []
+            any_failures = False
+            isolate = False
+            for cell, (status, value) in zip(batch, outcomes):
+                attempt = attempts.get(cell.cell_id, 0) + 1
+                attempts[cell.cell_id] = attempt
+                if status == TASK_OK and value[0] == "done":
+                    self._record_done(cell, value[1], attempt)
+                    summary.completed += 1
+                    accounted += 1
+                elif status == TASK_OK:  # soft failure inside the worker
+                    any_failures = True
+                    _kind, error, tb = value
+                    if attempt >= self.retry.max_attempts:
+                        self._record_quarantine(cell, error, tb, attempt,
+                                                summary)
+                        accounted += 1
+                    else:
+                        self._count("cells.retried")
+                        summary.retried += 1
+                        log.warning("cell %s failed (%s); attempt %d/%d",
+                                    cell.label, error, attempt,
+                                    self.retry.max_attempts)
+                        requeue.append(cell)
+                else:  # the worker (or its pool) crashed
+                    any_failures = True
+                    isolate = True
+                    summary.crashes += 1
+                    self._count("pool.crash")
+                    if attempt >= self.retry.max_attempts:
+                        self._record_quarantine(
+                            cell, f"worker crashed: {value}", "", attempt,
+                            summary)
+                        accounted += 1
+                    else:
+                        self._count("cells.retried")
+                        summary.retried += 1
+                        log.warning("cell %s crashed its worker (%s); "
+                                    "attempt %d/%d", cell.label, value,
+                                    attempt, self.retry.max_attempts)
+                        requeue.append(cell)
+                if self.on_progress is not None:
+                    self.on_progress(accounted, len(cells))
+            pending = requeue + rest
+            round_no = round_no + 1 if any_failures else round_no
+        return summary
+
+    def _record_done(self, cell: Cell, outcome: Dict[str, Any],
+                     attempt: int) -> None:
+        self.store.write_result(
+            cell,
+            outcome["payload"],
+            metrics=outcome.get("metrics"),
+            attempts=attempt,
+            duration_s=outcome.get("duration_s"),
+            manifest=outcome.get("manifest"),
+        )
+        self._count("cells.completed")
+        if self.registry is not None:
+            metrics = outcome.get("metrics")
+            if metrics:
+                self.registry.merge_dict(metrics)
+            duration = outcome.get("duration_s")
+            if duration is not None:
+                self.registry.series_of("campaign.cell_wall_s").append(
+                    round(duration, 6))
+        log.info("cell %s done in %.2fs (attempt %d)", cell.label,
+                 outcome.get("duration_s") or 0.0, attempt)
+
+    def _record_quarantine(self, cell: Cell, error: str, tb: str,
+                           attempt: int,
+                           summary: CampaignRunSummary) -> None:
+        self.store.write_quarantine(cell, error, tb, attempts=attempt)
+        self._count("cells.quarantined")
+        summary.quarantined += 1
+        summary.quarantined_labels.append(cell.label)
+        log.error("cell %s quarantined after %d attempt(s): %s",
+                  cell.label, attempt, error)

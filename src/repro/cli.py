@@ -17,6 +17,11 @@ Subcommands:
   top-20 cumulative entries to stderr).
 * ``repro cache stats|warm|clear`` — inspect, populate, or empty the
   on-disk trace cache (docs/PERFORMANCE.md).
+* ``repro campaign run|resume|status|report <spec|dir>`` — declarative
+  experiment campaigns: expand a TOML/JSON parameter grid, execute it
+  resumably across workers with retry + quarantine, and report (or
+  fidelity-check) straight from the durable results store
+  (docs/CAMPAIGNS.md).
 
 Every subcommand accepts the shared telemetry flags (docs/TELEMETRY.md):
 ``--metrics-out FILE`` writes a JSON run manifest (``-`` streams it to
@@ -476,6 +481,146 @@ def cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_set(entries: Optional[List[str]]) -> Dict[str, object]:
+    """Parse repeated ``--set key=value`` flags; values are JSON when they
+    parse as JSON (``--set 'benchmarks=["gcc","mcf"]'``), else strings."""
+    sets: Dict[str, object] = {}
+    for entry in entries or []:
+        key, sep, raw = entry.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--set expects key=value, got {entry!r}")
+        try:
+            sets[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            sets[key] = raw
+    return sets
+
+
+def _campaign_target(args: argparse.Namespace):
+    """Resolve the positional spec-or-directory into (spec, store).
+
+    A directory is opened as an existing store (its snapshot carries the
+    resolved cells, so no spec file is needed); a file is parsed as a
+    spec, with the store at ``--dir`` or ``campaigns/<name>``.
+    """
+    import os
+
+    from .campaign import CampaignSpec, CampaignStore, SpecError, StoreError
+
+    target = args.target
+    try:
+        if os.path.isdir(target):
+            store = CampaignStore(target)
+            spec = store.open()
+        else:
+            spec = CampaignSpec.load(target)
+            store = CampaignStore(
+                args.dir or os.path.join("campaigns", spec.name))
+        spec.apply_sets(_parse_set(getattr(args, "set", None)))
+        return spec, store
+    except (SpecError, StoreError) as exc:
+        raise SystemExit(str(exc))
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from .campaign import (
+        CampaignScheduler,
+        RetryPolicy,
+        StoreError,
+        check_fidelity,
+        render_checks,
+        render_report,
+        status_lines,
+    )
+
+    tele = _Telemetry(args, f"campaign-{args.action}")
+    spec, store = _campaign_target(args)
+    out = tele.human
+
+    if args.action in ("run", "resume"):
+        if args.action == "resume" and not store.exists():
+            raise SystemExit(f"nothing to resume: {store.root} does not "
+                             "exist (use 'campaign run')")
+        try:
+            store.create(spec)
+        except StoreError as exc:
+            raise SystemExit(str(exc))
+        progress = tele.progress(f"campaign {spec.name}: ")
+        scheduler = CampaignScheduler(
+            spec, store,
+            max_workers=args.jobs,
+            retry=RetryPolicy(max_attempts=args.max_attempts,
+                              backoff_base_s=args.backoff),
+            registry=tele.registry,
+            on_progress=progress,
+            stop_after=args.stop_after,
+            warm=not args.no_warm,
+        )
+        log.info("campaign %s: %d cells into %s", spec.name,
+                 len(spec.cells()), store.root)
+        with tele.timer("campaign") as span:
+            summary = scheduler.run()
+            span.items = summary.completed
+        if progress is not None:
+            progress.close()
+        print(f"campaign {spec.name} at {store.root}: "
+              f"{summary.completed} executed, {summary.skipped} skipped, "
+              f"{summary.quarantined} quarantined "
+              f"({summary.retried} retries, {summary.crashes} worker "
+              "crashes)", file=out)
+        if summary.stopped_early:
+            print(f"stopped after {args.stop_after} cells; "
+                  "'campaign resume' continues", file=out)
+        for label in summary.quarantined_labels:
+            print(f"  quarantined: {label}", file=out)
+        counts = store.counts()
+        tele.add("campaign", {
+            "name": spec.name,
+            "dir": str(store.root),
+            "executed": summary.completed,
+            "skipped": summary.skipped,
+            "retried": summary.retried,
+            "quarantined": summary.quarantined,
+            "crashes": summary.crashes,
+            "stopped_early": summary.stopped_early,
+            "store": counts,
+        })
+        tele.finish()
+        return 1 if counts.get("quarantined") else 0
+
+    if not store.exists():
+        raise SystemExit(f"{store.root} is not a campaign directory")
+    if args.action == "status":
+        print("\n".join(status_lines(spec, store)), file=out)
+        tele.add("campaign", {"name": spec.name, "store": store.counts()})
+        tele.finish()
+        return 0
+
+    # report
+    text = render_report(spec, store)
+    print(text, file=out)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"\nsaved to {args.out}", file=out)
+    exit_code = 0
+    if args.check:
+        checks = check_fidelity(spec, store)
+        print("", file=out)
+        print(render_checks(checks), file=out)
+        if not checks:
+            print("  (spec declares no fidelity targets)", file=out)
+        if any(not c.ok for c in checks):
+            exit_code = 2
+        tele.add("fidelity", [
+            {"label": c.label, "target": c.target, "tol": c.tol,
+             "actual": c.actual, "ok": c.ok, "error": c.error}
+            for c in checks])
+    tele.add("campaign", {"name": spec.name, "store": store.counts()})
+    tele.finish()
+    return exit_code
+
+
 def _sample_rate(text: str) -> float:
     """argparse type for ``--trace-sample``: a float within [0, 1]."""
     try:
@@ -583,6 +728,60 @@ def build_parser() -> argparse.ArgumentParser:
     p_warm.add_argument("--bench", help="comma-separated benchmark subset")
     cache_sub.add_parser("clear", parents=[telemetry],
                          help="delete every cache entry")
+
+    p_camp = sub.add_parser("campaign",
+                            help="declarative, resumable experiment "
+                                 "campaigns (docs/CAMPAIGNS.md)")
+    camp_sub = p_camp.add_subparsers(dest="action", required=True)
+
+    def _camp_common(p):
+        p.add_argument("target",
+                       help="campaign spec (.toml/.json) or an existing "
+                            "campaign directory")
+        p.add_argument("--dir", help="campaign directory (default: "
+                                     "campaigns/<name>)")
+        p.add_argument("--set", action="append", metavar="KEY=VALUE",
+                       help="override a parameter in every cell "
+                            "(repeatable; value parsed as JSON when "
+                            "possible)")
+
+    for action in ("run", "resume"):
+        p = camp_sub.add_parser(
+            action, parents=[telemetry],
+            help=("execute pending cells (skips completed ones)"
+                  if action == "run"
+                  else "continue an interrupted campaign"))
+        _camp_common(p)
+        p.add_argument("--jobs", type=int, default=None,
+                       help="worker processes (default: all cores; "
+                            "1 = in-process)")
+        p.add_argument("--max-attempts", type=int, default=3,
+                       help="attempts per cell before quarantine "
+                            "(default 3)")
+        p.add_argument("--backoff", type=float, default=0.25,
+                       metavar="SECONDS",
+                       help="base retry backoff, doubled per round and "
+                            "capped (default 0.25)")
+        p.add_argument("--stop-after", type=int, default=None,
+                       metavar="N",
+                       help="stop cleanly after executing N new cells "
+                            "(for testing interrupt/resume)")
+        p.add_argument("--no-warm", action="store_true",
+                       help="skip the up-front trace cache warm")
+
+    p_status = camp_sub.add_parser("status", parents=[telemetry],
+                                   help="per-cell completion state from "
+                                        "the store")
+    _camp_common(p_status)
+
+    p_report = camp_sub.add_parser("report", parents=[telemetry],
+                                   help="render result tables from the "
+                                        "store alone")
+    _camp_common(p_report)
+    p_report.add_argument("--check", action="store_true",
+                          help="run the paper-fidelity gate; exit 2 on "
+                               "drift")
+    p_report.add_argument("--out", help="also save the report here")
     return parser
 
 
@@ -598,6 +797,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "simulate": cmd_simulate,
         "run-all": cmd_run_all,
         "cache": cmd_cache,
+        "campaign": cmd_campaign,
     }
     try:
         return handlers[args.command](args)

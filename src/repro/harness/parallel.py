@@ -22,9 +22,18 @@ from __future__ import annotations
 
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..telemetry import MetricsRegistry, get_logger
 from .experiments import run_experiment
@@ -39,6 +48,20 @@ log = get_logger("repro.harness.parallel")
 #: surfaces, because the fallback re-runs the real body in-process.
 POOL_FAILURES = (BrokenProcessPool, OSError, PermissionError,
                  pickle.PicklingError, AttributeError, TypeError)
+
+
+def _record_fallback(registry: Optional[MetricsRegistry],
+                     exc: BaseException) -> None:
+    """Count a pool failure so degraded runs are visible in manifests.
+
+    ``parallel.fallback`` totals every silent serial degradation;
+    ``parallel.fallback.<ExceptionType>`` records why, so a campaign
+    manifest can distinguish a sandbox that forbids subprocesses from a
+    worker that segfaulted.
+    """
+    if registry is not None:
+        registry.counter("parallel.fallback").inc()
+        registry.counter(f"parallel.fallback.{type(exc).__name__}").inc()
 
 
 def default_workers() -> int:
@@ -125,6 +148,7 @@ def run_experiments(
             log.warning("experiment pool failed (%s: %s); "
                         "falling back to serial execution",
                         type(exc).__name__, exc)
+            _record_fallback(registry, exc)
         else:
             if registry is not None:
                 for snapshot in snapshots:
@@ -152,12 +176,14 @@ def parallel_map(
     items: Iterable,
     max_workers: Optional[int] = None,
     on_progress: Optional[Callable[[int, Optional[int]], None]] = None,
+    registry: Optional[MetricsRegistry] = None,
 ) -> List:
     """``[fn(item) for item in items]`` across processes, order preserved.
 
     The workhorse for fanning per-workload benchmark bodies out: *fn* must
     be a picklable module-level callable.  Falls back to an in-process
-    loop on one worker, one item, or any pool failure.
+    loop on one worker, one item, or any pool failure (counted as
+    ``parallel.fallback`` on *registry*).
     """
     items = list(items)
     if max_workers is None:
@@ -178,9 +204,83 @@ def parallel_map(
             log.warning("parallel_map pool failed (%s: %s); "
                         "falling back to serial execution",
                         type(exc).__name__, exc)
+            _record_fallback(registry, exc)
     results = []
     for i, item in enumerate(items):
         results.append(fn(item))
         if on_progress is not None:
             on_progress(i + 1, total)
     return results
+
+
+#: Outcome statuses yielded by :func:`run_tasks`.
+TASK_OK = "ok"
+TASK_CRASH = "crash"
+
+
+def run_tasks(
+    fn: Callable[[Any], Any],
+    items: Sequence,
+    max_workers: Optional[int] = None,
+    registry: Optional[MetricsRegistry] = None,
+    on_result: Optional[Callable[[int, Tuple[str, Any]], None]] = None,
+) -> List[Tuple[str, Any]]:
+    """Run *fn* over *items*, reporting per-item outcomes instead of
+    failing the whole batch.
+
+    Unlike :func:`parallel_map` — which re-runs *everything* serially when
+    the pool dies — this keeps whatever finished and marks only the
+    casualties, which is what a resumable scheduler needs: one poisoned
+    task must not discard its siblings' completed work.
+
+    Returns ``[(status, value)]`` aligned with *items*, where status is
+    :data:`TASK_OK` (value = ``fn(item)``) or :data:`TASK_CRASH` (value =
+    a short reason string; the worker died or the pool broke before the
+    item ran).  *fn* is expected to catch its own application-level
+    exceptions and encode them in its return value; an exception escaping
+    *fn* in a worker is indistinguishable from a crash and reported as
+    one.  Even a single item goes through the pool (unlike
+    :func:`parallel_map`): a retried task that kills its worker must not
+    take the driver down with it.  Only ``max_workers=1`` — or a pool
+    that cannot be created at all (counted via ``parallel.fallback``) —
+    runs items in-process, where an escaping exception propagates to the
+    caller.
+    """
+    items = list(items)
+    outcomes: List[Optional[Tuple[str, Any]]] = [None] * len(items)
+    if max_workers is None:
+        max_workers = default_workers()
+    if max_workers > 1 and items:
+        try:
+            pool = ProcessPoolExecutor(max_workers=min(max_workers,
+                                                       len(items)))
+        except POOL_FAILURES as exc:
+            log.warning("task pool could not start (%s: %s); "
+                        "running tasks in-process",
+                        type(exc).__name__, exc)
+            _record_fallback(registry, exc)
+        else:
+            with pool:
+                futures = {pool.submit(fn, item): i
+                           for i, item in enumerate(items)}
+                for future in as_completed(futures):
+                    i = futures[future]
+                    try:
+                        outcomes[i] = (TASK_OK, future.result())
+                    except POOL_FAILURES as exc:
+                        outcomes[i] = (
+                            TASK_CRASH, f"{type(exc).__name__}: {exc}")
+                        log.warning("task %d crashed its worker (%s)",
+                                    i, outcomes[i][1])
+                    if on_result is not None:
+                        on_result(i, outcomes[i])
+            # Every future resolves through as_completed (a broken pool
+            # resolves the stragglers exceptionally), so no slot is None.
+            return [outcome or (TASK_CRASH, "task never completed")
+                    for outcome in outcomes]
+    for i, item in enumerate(items):
+        outcomes[i] = (TASK_OK, fn(item))
+        if on_result is not None:
+            on_result(i, outcomes[i])
+    return [outcome or (TASK_CRASH, "task never completed")
+            for outcome in outcomes]

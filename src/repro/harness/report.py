@@ -107,6 +107,20 @@ class ExperimentResult:
             "notes": list(self.notes),
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExperimentResult":
+        """Inverse of :meth:`as_dict`: rebuild a result from stored JSON
+        (used by the campaign store to re-render tables without
+        recomputing anything)."""
+        return cls(
+            name=data["name"],
+            title=data.get("title", ""),
+            columns=list(data.get("columns", [])),
+            rows=[list(row) for row in data.get("rows", [])],
+            notes=list(data.get("notes", [])),
+            kinds=dict(data.get("kinds", {})),
+        )
+
     def render(self) -> str:
         """Render the table as aligned ASCII."""
         kinds = self.kinds

@@ -11,6 +11,7 @@ stdout so pipelines can consume it directly.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import platform
 import subprocess
@@ -52,6 +53,21 @@ class RunManifest:
         self.git_sha = git_revision()
         self.extra: Dict[str, Any] = {}
 
+    @property
+    def run_id(self) -> str:
+        """Deterministic run identity: a content hash of the resolved
+        configuration (command + arguments), not of when it ran.
+
+        Two runs of the same command with the same arguments share one
+        run id, which is what lets the campaign store deduplicate
+        manifests across resumes instead of accreting a new document per
+        attempt.
+        """
+        ident = json.dumps({"command": self.command, "args": self.args},
+                           sort_keys=True, separators=(",", ":"),
+                           default=str)
+        return hashlib.sha256(ident.encode("utf-8")).hexdigest()[:16]
+
     def add(self, section: str, payload: Any) -> None:
         """Attach a command-specific section (e.g. ``predictors``)."""
         self.extra[section] = payload
@@ -64,6 +80,7 @@ class RunManifest:
             self.finish()
         doc: Dict[str, Any] = {
             "schema": SCHEMA_VERSION,
+            "run_id": self.run_id,
             "command": self.command,
             "args": {k: v for k, v in sorted(self.args.items())},
             "git_sha": self.git_sha,

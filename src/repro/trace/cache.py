@@ -21,9 +21,10 @@ Configuration:
   to in-memory generation).
 
 Telemetry: an attached :class:`~repro.telemetry.MetricsRegistry` receives
-``cache.hit`` / ``cache.miss`` / ``cache.store`` / ``cache.invalid``
-counters, ``cache.bytes_written`` / ``cache.bytes_read``, and — from
-:meth:`TraceCache.stats` — ``cache.entries`` / ``cache.bytes`` gauges.
+``cache.hit`` / ``cache.miss`` / ``cache.store`` / ``cache.invalid`` /
+``cache.lock_wait`` counters, ``cache.bytes_written`` /
+``cache.bytes_read``, and — from :meth:`TraceCache.stats` —
+``cache.entries`` / ``cache.bytes`` gauges.
 """
 
 from __future__ import annotations
@@ -31,6 +32,7 @@ from __future__ import annotations
 import hashlib
 import os
 import tempfile
+import time
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
@@ -45,6 +47,9 @@ log = get_logger("repro.trace.cache")
 
 #: File extension of cache entries.
 ENTRY_SUFFIX = ".rpt"
+
+#: File extension of per-entry generation locks.
+LOCK_SUFFIX = ".lock"
 
 
 def cache_enabled() -> bool:
@@ -77,6 +82,15 @@ class TraceCache:
             hit/miss/size counters.
     """
 
+    #: How long a waiter polls for another process's generation before
+    #: giving up and generating itself (seconds).
+    lock_timeout_s = 300.0
+    #: A lockfile older than this is presumed abandoned (its holder
+    #: crashed before unlinking it) and is broken.
+    lock_stale_s = 600.0
+    #: Poll interval while waiting on another process's lock.
+    lock_poll_s = 0.05
+
     def __init__(self, root: Optional[Union[str, Path]] = None, metrics=None):
         self.root = Path(root) if root is not None else cache_root()
         self.metrics = metrics
@@ -101,6 +115,86 @@ class TraceCache:
             self.metrics.counter(f"cache.{counter}").inc(amount)
 
     # -- the core operation ----------------------------------------------
+    def _try_load(self, path: Path, length: int) -> Optional[PackedTrace]:
+        """Load an entry if present and intact; discard damaged ones."""
+        if not path.exists():
+            return None
+        try:
+            packed = load_packed(path)
+            if len(packed) != length:
+                raise TraceFormatError(
+                    f"{path}: entry holds {len(packed)} instructions, "
+                    f"key promised {length}")
+            self._count("hit")
+            self._count("bytes_read", path.stat().st_size)
+            return packed
+        except (TraceFormatError, OSError) as exc:
+            log.warning("discarding unreadable cache entry %s: %s",
+                        path, exc)
+            self._count("invalid")
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    # -- generation lock --------------------------------------------------
+    def _acquire_lock(self, lock: Path) -> bool:
+        """Try to become the single generator for one entry.
+
+        Returns True when this process holds the lock — or when the
+        filesystem cannot express one (read-only root), in which case the
+        pre-lock behaviour (everyone generates) is the graceful floor.
+        """
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except OSError:
+            # Unusable cache root (e.g. a file where the directory should
+            # be): locking is impossible, but _store already tolerates the
+            # failed write, so generate without coordination.
+            return True
+        try:
+            fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        except OSError:
+            return True
+        try:
+            os.write(fd, f"{os.getpid()}\n".encode("ascii"))
+        finally:
+            os.close(fd)
+        return True
+
+    @staticmethod
+    def _release_lock(lock: Path) -> None:
+        try:
+            lock.unlink()
+        except OSError:
+            pass
+
+    def _wait_for_entry(self, path: Path, lock: Path) -> str:
+        """Wait while another process generates this entry.
+
+        Returns ``"entry"`` when the entry appeared, ``"retry"`` when the
+        lock was released (or broken as stale) without one, ``"timeout"``
+        when the holder outlived :attr:`lock_timeout_s`.
+        """
+        self._count("lock_wait")
+        deadline = time.monotonic() + self.lock_timeout_s
+        while time.monotonic() < deadline:
+            if path.exists():
+                return "entry"
+            try:
+                held_since = lock.stat().st_mtime
+            except OSError:
+                return "retry"
+            if time.time() - held_since > self.lock_stale_s:
+                log.warning("breaking stale cache lock %s", lock)
+                self._release_lock(lock)
+                return "retry"
+            time.sleep(self.lock_poll_s)
+        return "timeout"
+
     def load_or_generate(self, workload: Union[str, WorkloadSpec],
                          length: int, seed: Optional[int] = None,
                          code_copies: int = 1) -> PackedTrace:
@@ -109,29 +203,47 @@ class TraceCache:
         A miss generates the trace (identical stream to
         :meth:`WorkloadSpec.trace`), stores it, and returns the packed
         form; an unreadable entry counts as ``cache.invalid`` and is
-        regenerated in place.
+        regenerated in place.  Concurrent misses on the same key are
+        serialised through a per-entry lockfile: exactly one process
+        generates while the others wait (``cache.lock_wait``) and then
+        load its entry, so a parallel campaign never burns N cores
+        regenerating one trace N times.
         """
         spec = _resolve(workload)
         effective_seed = spec.seed if seed is None else seed
         path = self.entry_path(spec.name, length, effective_seed, code_copies)
-        if path.exists():
-            try:
-                packed = load_packed(path)
-                if len(packed) != length:
-                    raise TraceFormatError(
-                        f"{path}: entry holds {len(packed)} instructions, "
-                        f"key promised {length}")
-                self._count("hit")
-                self._count("bytes_read", path.stat().st_size)
-                return packed
-            except (TraceFormatError, OSError) as exc:
-                log.warning("discarding unreadable cache entry %s: %s",
-                            path, exc)
-                self._count("invalid")
+        packed = self._try_load(path, length)
+        if packed is not None:
+            return packed
+        lock = path.with_name(path.name + LOCK_SUFFIX)
+        while True:
+            if self._acquire_lock(lock):
                 try:
-                    path.unlink()
-                except OSError:
-                    pass
+                    # Double-check under the lock: the previous holder may
+                    # have finished between our miss and our acquisition.
+                    packed = self._try_load(path, length)
+                    if packed is not None:
+                        return packed
+                    return self._generate_and_store(
+                        spec, path, length, seed, code_copies)
+                finally:
+                    self._release_lock(lock)
+            outcome = self._wait_for_entry(path, lock)
+            if outcome == "entry":
+                packed = self._try_load(path, length)
+                if packed is not None:
+                    return packed
+                continue  # entry was damaged; compete for the lock
+            if outcome == "timeout":
+                # The holder is wedged: generate anyway.  The atomic
+                # store makes a duplicate write harmless.
+                return self._generate_and_store(
+                    spec, path, length, seed, code_copies)
+            # "retry": lock released or broken without an entry.
+
+    def _generate_and_store(self, spec: WorkloadSpec, path: Path,
+                            length: int, seed: Optional[int],
+                            code_copies: int) -> PackedTrace:
         self._count("miss")
         stream = spec.generate(seed=seed, code_copies=code_copies)
         packed = PackedTrace.from_instructions(islice(stream, length),
@@ -221,15 +333,19 @@ class TraceCache:
         }
 
     def clear(self) -> int:
-        """Delete every cache entry; returns the number removed."""
+        """Delete every cache entry (and stray generation lock); returns
+        the number of entries removed."""
         removed = 0
-        for path in (self.root.glob(f"*{ENTRY_SUFFIX}")
-                     if self.root.is_dir() else ()):
+        if not self.root.is_dir():
+            return removed
+        for path in self.root.glob(f"*{ENTRY_SUFFIX}"):
             try:
                 path.unlink()
                 removed += 1
             except OSError as exc:
                 log.warning("could not remove %s: %s", path, exc)
+        for lock in self.root.glob(f"*{LOCK_SUFFIX}"):
+            self._release_lock(lock)
         return removed
 
 

@@ -1,0 +1,521 @@
+"""Campaign orchestration: specs, store, scheduler, fidelity, reports.
+
+The properties that matter, in order of importance:
+
+1. **Determinism** — a campaign cell computes exactly what the direct
+   harness call computes (same ``ExperimentResult`` / ``PredictionStats``).
+2. **Resumability** — interrupt a campaign, resume it, and completed
+   cells are skipped byte-for-byte untouched, never recomputed.
+3. **Fault isolation** — a poisoned cell (exception *or* hard worker
+   crash) ends up quarantined with its traceback while every sibling
+   completes.
+4. **Store-only reporting** — status/report/fidelity run from the
+   directory alone, reproducing the live harness tables verbatim.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import (
+    CampaignScheduler,
+    CampaignSpec,
+    CampaignStore,
+    RetryPolicy,
+    SpecError,
+    StoreError,
+    check_fidelity,
+    render_report,
+    report_tables,
+)
+from repro.campaign.scheduler import (
+    _cell_worker,
+    _crash_marked_cell_worker,
+    _crashing_cell_worker,
+)
+from repro.campaign.spec import Cell
+from repro.harness.experiments import run_experiment
+from repro.harness.runner import run_value_prediction
+from repro.telemetry import MetricsRegistry
+from repro.core.gdiff import GDiffPredictor
+from repro.trace.workloads import get
+
+#: Fast 2x2 grid used throughout: fig8 at two lengths x two benchmarks.
+MINI = {
+    "campaign": {"name": "mini", "description": "2x2 test grid"},
+    "defaults": {"kind": "experiment", "experiment": "fig8"},
+    "matrix": {"length": [4000, 6000], "benchmarks": [["gcc"], ["mcf"]]},
+}
+
+
+def mini_spec(**extra):
+    doc = json.loads(json.dumps(MINI))
+    doc.update(extra)
+    return CampaignSpec.from_dict(doc)
+
+
+def scheduler(spec, store, **kw):
+    kw.setdefault("max_workers", 2)
+    kw.setdefault("retry", RetryPolicy(max_attempts=2, backoff_base_s=0.0))
+    kw.setdefault("warm", False)  # tiny traces; generation is cheap
+    return CampaignScheduler(spec, store, **kw)
+
+
+# ---------------------------------------------------------------------------
+# Spec parsing and grid expansion
+# ---------------------------------------------------------------------------
+class TestSpec:
+    def test_toml_round_trip(self, tmp_path):
+        path = tmp_path / "c.toml"
+        path.write_text(
+            '[campaign]\nname = "t"\n'
+            '[defaults]\nkind = "experiment"\n'
+            '[matrix]\nexperiment = ["fig8"]\nlength = [4000, 6000]\n')
+        spec = CampaignSpec.load(path)
+        assert spec.name == "t"
+        assert [c.params["length"] for c in spec.cells()] == [4000, 6000]
+
+    def test_matrix_cross_product_with_defaults(self):
+        cells = mini_spec().cells()
+        assert len(cells) == 4
+        assert all(c.kind == "experiment" for c in cells)
+        assert all(c.params["experiment"] == "fig8" for c in cells)
+        combos = {(c.params["length"], tuple(c.params["benchmarks"]))
+                  for c in cells}
+        assert combos == {(4000, ("gcc",)), (4000, ("mcf",)),
+                          (6000, ("gcc",)), (6000, ("mcf",))}
+
+    def test_exclude_drops_matching_cells(self):
+        spec = mini_spec(exclude=[{"length": 4000, "benchmarks": ["gcc"]}])
+        assert len(spec.cells()) == 3
+
+    def test_override_patches_matching_cells(self):
+        spec = mini_spec(override=[
+            {"where": {"length": 4000, "benchmarks": ["mcf"]},
+             "set": {"length": 4500}}])
+        lengths = sorted(c.params["length"] for c in spec.cells())
+        assert lengths == [4000, 4500, 6000, 6000]
+
+    def test_override_collapse_is_an_error(self):
+        with pytest.raises(SpecError, match="duplicate cell"):
+            mini_spec(override=[
+                {"where": {"benchmarks": ["mcf"]}, "set": {"length": 5000}}])
+
+    def test_cell_id_is_content_hash(self):
+        a = Cell.make("experiment", {"experiment": "fig8", "length": 4000})
+        b = Cell.make("experiment", {"length": 4000, "experiment": "fig8"})
+        c = Cell.make("experiment", {"experiment": "fig8", "length": 4001})
+        assert a.cell_id == b.cell_id  # key order is irrelevant
+        assert a.cell_id != c.cell_id
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SpecError, match="unknown experiment"):
+            mini_spec(matrix={"experiment": ["fig99"]},
+                      defaults={"kind": "experiment"})
+
+    def test_unknown_predictor_rejected(self):
+        with pytest.raises(SpecError, match="unknown predictor"):
+            CampaignSpec.from_dict({
+                "campaign": {"name": "p"},
+                "defaults": {"kind": "predict", "predictor": "oracle"},
+                "matrix": {"bench": ["gcc"]},
+            })
+
+    def test_predict_rejects_foreign_axes(self):
+        with pytest.raises(SpecError, match="does not accept"):
+            CampaignSpec.from_dict({
+                "campaign": {"name": "p"},
+                "defaults": {"kind": "predict", "predictor": "stride"},
+                "matrix": {"bench": ["gcc"], "delay": [4]},  # stride: no delay
+            })
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SpecError, match="unknown benchmark"):
+            mini_spec(matrix={"length": [4000], "benchmarks": [["nginx"]]})
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(SpecError, match="zero cells"):
+            mini_spec(exclude=[{"experiment": "fig8"}])
+
+    def test_grid_sha_tracks_any_cell_change(self):
+        base = mini_spec().grid_sha()
+        assert mini_spec().grid_sha() == base  # deterministic
+        changed = mini_spec(override=[
+            {"where": {"length": 4000}, "set": {"length": 4001}}])
+        assert changed.grid_sha() != base
+
+    def test_snapshot_preserves_identity(self):
+        spec = mini_spec()
+        rebuilt = CampaignSpec.from_snapshot(spec.snapshot())
+        assert rebuilt.grid_sha() == spec.grid_sha()
+        assert ([c.cell_id for c in rebuilt.cells()]
+                == [c.cell_id for c in spec.cells()])
+
+    def test_apply_sets_grid_path(self):
+        spec = mini_spec(matrix={"length": [4000],
+                                 "benchmarks": [["gcc"], ["mcf"]]})
+        spec.apply_sets({"length": 3000})
+        assert {c.params["length"] for c in spec.cells()} == {3000}
+
+    def test_apply_sets_collapse_is_loud(self):
+        # --set on a spec whose matrix sweeps the same key would collapse
+        # the axis into duplicate cells; that must fail, not dedup silently.
+        with pytest.raises(SpecError, match="duplicate cell"):
+            mini_spec().apply_sets({"length": 3000})
+
+    def test_apply_sets_on_snapshot(self):
+        spec = CampaignSpec.from_snapshot(mini_spec().snapshot())
+        before = spec.grid_sha()
+        spec.apply_sets({"seed": 9})
+        assert spec.grid_sha() != before
+        assert all(c.params["seed"] == 9 for c in spec.cells())
+
+
+# ---------------------------------------------------------------------------
+# Store
+# ---------------------------------------------------------------------------
+class TestStore:
+    def test_create_open_roundtrip(self, tmp_path):
+        spec = mini_spec()
+        store = CampaignStore(tmp_path / "c")
+        store.create(spec)
+        stored = CampaignStore(tmp_path / "c").open(spec)
+        assert stored.grid_sha() == spec.grid_sha()
+        assert [c.label for c in stored.cells()] == [
+            c.label for c in spec.cells()]
+
+    def test_open_refuses_different_grid(self, tmp_path):
+        store = CampaignStore(tmp_path / "c")
+        store.create(mini_spec())
+        other = mini_spec(matrix={"length": [4000],
+                                  "benchmarks": [["gcc"]]})
+        with pytest.raises(StoreError, match="different grid"):
+            CampaignStore(tmp_path / "c").open(other)
+
+    def test_open_non_campaign_dir(self, tmp_path):
+        with pytest.raises(StoreError, match="not a campaign directory"):
+            CampaignStore(tmp_path / "nope").open()
+
+    def test_write_result_is_atomic_and_indexed(self, tmp_path):
+        spec = mini_spec()
+        store = CampaignStore(tmp_path / "c")
+        store.create(spec)
+        cell = spec.cells()[0]
+        store.write_result(cell, {"experiment": {"name": "fig8"}},
+                           attempts=2, duration_s=0.5)
+        assert store.is_done(cell.cell_id)
+        assert store.counts()["done"] == 1
+        record = store.load_cell(cell.cell_id)
+        assert record["attempts"] == 2
+        assert record["config"] == cell.config()
+        # no temp droppings left behind
+        leftovers = [p for p in store.cells_dir.iterdir()
+                     if p.suffix != ".json"]
+        assert leftovers == []
+
+    def test_quarantine_then_success_clears_it(self, tmp_path):
+        spec = mini_spec()
+        store = CampaignStore(tmp_path / "c")
+        store.create(spec)
+        cell = spec.cells()[0]
+        store.write_quarantine(cell, "ValueError: boom", "Traceback...",
+                               attempts=3)
+        assert store.status(cell.cell_id) == "quarantined"
+        assert store.load_quarantine(cell.cell_id)["traceback"]
+        store.write_result(cell, {"experiment": {}})
+        assert store.is_done(cell.cell_id)
+        assert not store.quarantine_path(cell.cell_id).exists()
+
+    def test_index_self_heals(self, tmp_path):
+        spec = mini_spec()
+        store = CampaignStore(tmp_path / "c")
+        store.create(spec)
+        cell = spec.cells()[0]
+        store.write_result(cell, {"experiment": {}})
+        # Simulate a crash between the cell write and the index write.
+        store.index_path.unlink()
+        healed = CampaignStore(tmp_path / "c")
+        healed.open()
+        assert healed.is_done(cell.cell_id)
+        # ... and a stale index (cell file present, index empty) too.
+        store.index_path.write_text("{}")
+        healed2 = CampaignStore(tmp_path / "c")
+        healed2.open()
+        assert healed2.is_done(cell.cell_id)
+
+    def test_manifest_dedup(self, tmp_path):
+        spec = mini_spec()
+        store = CampaignStore(tmp_path / "c")
+        store.create(spec)
+        cells = spec.cells()
+        manifest = {"run_id": "abc123", "command": "campaign-cell"}
+        store.write_result(cells[0], {"experiment": {}}, manifest=manifest)
+        store.write_result(cells[1], {"experiment": {}}, manifest=manifest)
+        assert len(list(store.manifests_dir.glob("*.json"))) == 1
+
+
+# ---------------------------------------------------------------------------
+# Scheduler: determinism, resumability, fault isolation
+# ---------------------------------------------------------------------------
+class TestScheduler:
+    def test_campaign_equals_direct_harness(self, tmp_path):
+        """Acceptance: a campaign cell's record equals the direct call."""
+        spec = mini_spec()
+        store = CampaignStore(tmp_path / "c")
+        store.create(spec)
+        summary = scheduler(spec, store).run()
+        assert summary.completed == 4 and summary.quarantined == 0
+        for cell in spec.cells():
+            kwargs = {k: v for k, v in cell.params.items()
+                      if k != "experiment"}
+            direct = run_experiment("fig8", **kwargs)
+            stored = store.load_cell(cell.cell_id)
+            assert stored["result"]["experiment"] == direct.as_dict()
+
+    def test_predict_cell_equals_direct_runner(self, tmp_path):
+        spec = CampaignSpec.from_dict({
+            "campaign": {"name": "p"},
+            "defaults": {"kind": "predict", "predictor": "gdiff",
+                         "length": 3000, "order": 8, "gated": True},
+            "matrix": {"bench": ["gcc"]},
+        })
+        store = CampaignStore(tmp_path / "c")
+        store.create(spec)
+        assert scheduler(spec, store).run().completed == 1
+        cell = spec.cells()[0]
+        direct = run_value_prediction(
+            get("gcc").trace(3000), {"gdiff": GDiffPredictor(order=8)},
+            gated=True)
+        stored = store.load_cell(cell.cell_id)
+        assert stored["result"]["stats"]["gdiff"] == \
+            direct["gdiff"].as_dict()
+
+    def test_interrupt_resume_no_recompute(self, tmp_path):
+        """Acceptance: stop after 2 of 4 cells, resume, and the completed
+        records are byte-identical — zero re-executions."""
+        spec = mini_spec()
+        store = CampaignStore(tmp_path / "c")
+        store.create(spec)
+        first = scheduler(spec, store, stop_after=2).run()
+        assert first.completed == 2 and first.stopped_early
+        done = sorted(store.cells_dir.glob("*.json"))
+        assert len(done) == 2
+        before = {p.name: (p.read_bytes(), p.stat().st_mtime_ns)
+                  for p in done}
+
+        reg = MetricsRegistry()
+        resume_store = CampaignStore(tmp_path / "c")
+        resume_spec = resume_store.open()
+        second = scheduler(resume_spec, resume_store, registry=reg).run()
+        assert second.skipped == 2 and second.completed == 2
+        snap = reg.as_dict()["counters"]
+        assert snap["campaign.cells.skipped"] == 2
+        assert snap["campaign.cells.completed"] == 2
+        for name, (payload, mtime) in before.items():
+            path = store.cells_dir / name
+            assert path.read_bytes() == payload
+            assert path.stat().st_mtime_ns == mtime
+
+        store3 = CampaignStore(tmp_path / "c")
+        third = scheduler(store3.open(), store3).run()
+        assert third.skipped == 4 and third.completed == 0
+
+    def test_soft_failure_quarantined_not_fatal(self, tmp_path):
+        """A cell that raises is retried then quarantined with its
+        traceback; the sibling cells still complete."""
+        spec = mini_spec(matrix={"length": [4000, -5],
+                                 "benchmarks": [["gcc"]]})
+        store = CampaignStore(tmp_path / "c")
+        store.create(spec)
+        reg = MetricsRegistry()
+        summary = scheduler(spec, store, registry=reg).run()
+        assert summary.completed == 1
+        assert summary.quarantined == 1
+        assert summary.retried == 1  # max_attempts=2 -> one retry round
+        bad = next(c for c in spec.cells() if c.params["length"] == -5)
+        record = store.load_quarantine(bad.cell_id)
+        assert "ValueError" in record["error"]
+        assert "Traceback" in record["traceback"]
+        assert record["attempts"] == 2
+        assert reg.as_dict()["counters"]["campaign.cells.quarantined"] == 1
+
+    def test_hard_crash_quarantined_siblings_survive(self, tmp_path):
+        """A worker killed outright (os._exit) breaks its pool; the
+        scheduler rebuilds it, quarantines the poisoned cell, and every
+        other cell completes."""
+        spec = mini_spec(matrix={"length": [4000, 4242, 6000],
+                                 "benchmarks": [["gcc"]]})
+        store = CampaignStore(tmp_path / "c")
+        store.create(spec)
+        reg = MetricsRegistry()
+        summary = scheduler(spec, store, registry=reg,
+                            cell_worker=_crash_marked_cell_worker).run()
+        assert summary.completed == 2
+        assert summary.quarantined == 1
+        assert summary.crashes >= 1
+        marked = next(c for c in spec.cells()
+                      if c.params["length"] == 4242)
+        assert "crashed" in store.load_quarantine(marked.cell_id)["error"]
+        assert reg.as_dict()["counters"]["campaign.pool.crash"] >= 1
+
+    def test_every_worker_crashing_still_terminates(self, tmp_path):
+        spec = mini_spec(matrix={"length": [4000],
+                                 "benchmarks": [["gcc"]]})
+        store = CampaignStore(tmp_path / "c")
+        store.create(spec)
+        summary = scheduler(spec, store,
+                            cell_worker=_crashing_cell_worker).run()
+        assert summary.completed == 0 and summary.quarantined == 1
+
+    def test_warm_plan_covers_grid(self):
+        spec = mini_spec()
+        sched = scheduler(spec, CampaignStore("/nonexistent"))
+        plan = sched.warm_plan(spec.cells())
+        assert plan == {("gcc", 4000, None, 1), ("gcc", 6000, None, 1),
+                        ("mcf", 4000, None, 1), ("mcf", 6000, None, 1)}
+
+    def test_progress_counts_every_cell_once(self, tmp_path):
+        spec = mini_spec()
+        store = CampaignStore(tmp_path / "c")
+        store.create(spec)
+        seen = []
+        scheduler(spec, store,
+                  on_progress=lambda done, total: seen.append(
+                      (done, total))).run()
+        assert seen[0] == (0, 4) and seen[-1] == (4, 4)
+
+
+# ---------------------------------------------------------------------------
+# Shipped specs
+# ---------------------------------------------------------------------------
+SHIPPED = ["fig8", "fig10", "fig13", "fig16", "fig18", "gdiff-grid",
+           "mini"]
+SPEC_DIR = Path(__file__).resolve().parent.parent / "examples" / "campaigns"
+
+
+class TestShippedSpecs:
+    @pytest.mark.parametrize("name", SHIPPED)
+    def test_loads_and_expands(self, name):
+        spec = CampaignSpec.load(SPEC_DIR / f"{name}.toml")
+        assert spec.cells()
+        assert spec.grid_sha()
+
+    def test_gdiff_grid_exclude_applied(self):
+        spec = CampaignSpec.load(SPEC_DIR / "gdiff-grid.toml")
+        cells = spec.cells()
+        assert len(cells) == 12  # 16 - excluded (order=32, delay=4) corner
+        assert not any(c.params["order"] == 32 and c.params["delay"] == 4
+                       for c in cells)
+        # the mcf override bumped 2048 -> 4096
+        assert not any(c.params["bench"] == "mcf"
+                       and c.params["entries"] == 2048 for c in cells)
+
+    def test_shipped_fig8_matches_direct_run(self, tmp_path):
+        """Acceptance: `repro campaign run` on the shipped fig8 spec (cut
+        down via --set to stay fast) produces the same stats as calling
+        the harness directly."""
+        spec = CampaignSpec.load(SPEC_DIR / "fig8.toml")
+        spec.apply_sets({"length": 6000, "benchmarks": ["gcc", "mcf"]})
+        store = CampaignStore(tmp_path / "c")
+        store.create(spec)
+        assert scheduler(spec, store).run().completed == 1
+        direct = run_experiment("fig8", length=6000,
+                                benchmarks=["gcc", "mcf"])
+        cell = spec.cells()[0]
+        stored = store.load_cell(cell.cell_id)
+        assert stored["result"]["experiment"] == direct.as_dict()
+
+
+# ---------------------------------------------------------------------------
+# Fidelity gate and reports
+# ---------------------------------------------------------------------------
+def run_mini(tmp_path, **spec_extra):
+    spec = mini_spec(**spec_extra)
+    store = CampaignStore(tmp_path / "c")
+    store.create(spec)
+    scheduler(spec, store).run()
+    return spec, store
+
+
+class TestFidelity:
+    def test_pass_and_fail(self, tmp_path):
+        spec, store = run_mini(tmp_path, fidelity=[
+            {"label": "sane", "where": {"length": 6000,
+                                        "benchmarks": ["gcc"]},
+             "row": "gcc", "column": "gdiff8", "target": 0.68,
+             "tol": 0.10},
+            {"label": "absurd", "where": {"length": 6000,
+                                          "benchmarks": ["gcc"]},
+             "row": "gcc", "column": "gdiff8", "target": 0.99,
+             "tol": 0.01},
+        ])
+        checks = check_fidelity(spec, store)
+        assert [c.ok for c in checks] == [True, False]
+        assert checks[0].actual == checks[1].actual is not None
+
+    def test_missing_cell_fails_not_passes(self, tmp_path):
+        spec = mini_spec(fidelity=[
+            {"label": "ghost", "where": {"length": 12345},
+             "row": "gcc", "column": "gdiff8", "target": 0.5, "tol": 0.5}])
+        store = CampaignStore(tmp_path / "c")
+        store.create(spec)
+        checks = check_fidelity(spec, store)
+        assert not checks[0].ok and "no cell" in checks[0].error
+
+    def test_incomplete_cell_fails(self, tmp_path):
+        spec = mini_spec(fidelity=[
+            {"label": "later", "where": {"length": 4000,
+                                         "benchmarks": ["gcc"]},
+             "row": "gcc", "column": "gdiff8", "target": 0.5, "tol": 0.5}])
+        store = CampaignStore(tmp_path / "c")
+        store.create(spec)  # nothing executed
+        checks = check_fidelity(spec, store)
+        assert not checks[0].ok and "not completed" in checks[0].error
+
+    def test_ambiguous_where_fails(self, tmp_path):
+        spec, store = run_mini(tmp_path, fidelity=[
+            {"label": "vague", "where": {"experiment": "fig8"},
+             "row": "gcc", "column": "gdiff8", "target": 0.5, "tol": 0.5}])
+        checks = check_fidelity(spec, store)
+        assert not checks[0].ok and "ambiguous" in checks[0].error
+
+    def test_missing_column_fails(self, tmp_path):
+        spec, store = run_mini(tmp_path, fidelity=[
+            {"label": "typo", "where": {"length": 4000,
+                                        "benchmarks": ["gcc"]},
+             "row": "gcc", "column": "gdiff99", "target": 0.5,
+             "tol": 0.5}])
+        checks = check_fidelity(spec, store)
+        assert not checks[0].ok and "not found" in checks[0].error
+
+
+class TestReport:
+    def test_report_reproduces_direct_table(self, tmp_path):
+        """Acceptance: the stored table re-renders byte-identically to the
+        live harness output."""
+        spec, store = run_mini(tmp_path)
+        tables = report_tables(spec, store)
+        assert len(tables) == 4
+        for cell, table in zip(spec.cells(), tables):
+            kwargs = {k: v for k, v in cell.params.items()
+                      if k != "experiment"}
+            direct = run_experiment("fig8", **kwargs)
+            assert table.render() == direct.render()
+
+    def test_report_from_bare_directory(self, tmp_path):
+        """status/report need nothing but the campaign directory."""
+        _spec, store = run_mini(tmp_path)
+        fresh = CampaignStore(store.root)
+        snap_spec = fresh.open()  # no spec file involved
+        text = render_report(snap_spec, fresh)
+        assert "4 done, 0 pending, 0 quarantined" in text
+        assert text.count("== fig8") == 4
+
+    def test_quarantine_section_rendered(self, tmp_path):
+        spec, store = run_mini(
+            tmp_path, matrix={"length": [4000, -5],
+                              "benchmarks": [["gcc"]]})
+        text = render_report(spec, store)
+        assert "quarantined cells" in text
+        assert "ValueError" in text

@@ -6,13 +6,18 @@ rows, identical per-experiment phase accounting, and a clean serial
 fallback when the pool cannot be used.
 """
 
+import os
+
 import pytest
 
 from repro.harness.parallel import (
+    TASK_CRASH,
+    TASK_OK,
     _crashing_worker,
     default_workers,
     parallel_map,
     run_experiments,
+    run_tasks,
 )
 from repro.telemetry import MetricsRegistry
 
@@ -81,6 +86,26 @@ class TestDegradation:
         for name in NAMES:
             assert reg.as_dict()["phases"][f"experiment.{name}"]["calls"] == 1
 
+    def test_fallback_records_exception_type(self):
+        """A silent serial degradation must be visible in the manifest:
+        one total counter plus one per exception type naming the cause."""
+        reg = MetricsRegistry()
+        run_experiments(NAMES, max_workers=2, common_kwargs=COMMON,
+                        registry=reg, pool_worker=_crashing_worker)
+        counters = reg.as_dict()["counters"]
+        assert counters["parallel.fallback"] == 1
+        assert counters["parallel.fallback.BrokenProcessPool"] == 1
+
+    def test_parallel_map_fallback_counted(self):
+        reg = MetricsRegistry()
+        fn = lambda x: x + 1  # noqa: E731 - unpicklable -> pool failure
+        assert parallel_map(fn, [1, 2], max_workers=2,
+                            registry=reg) == [2, 3]
+        counters = reg.as_dict()["counters"]
+        assert counters["parallel.fallback"] == 1
+        assert any(name.startswith("parallel.fallback.")
+                   for name in counters if name != "parallel.fallback")
+
     def test_single_experiment_runs_in_process(self):
         # total == 1 short-circuits the pool entirely.
         sentinel = []
@@ -112,3 +137,48 @@ class TestParallelMap:
         items = [1, 2, 3]
         fn = lambda x: x + 1  # noqa: E731 - deliberately unpicklable
         assert parallel_map(fn, items, max_workers=2) == [2, 3, 4]
+
+
+def _double(x):
+    return x * 2
+
+
+def _exit_on_negative(x):
+    if x < 0:
+        os._exit(13)
+    return x * 2
+
+
+class TestRunTasks:
+    def test_outcomes_aligned_with_items(self):
+        outcomes = run_tasks(_double, [1, 2, 3], max_workers=2)
+        assert outcomes == [(TASK_OK, 2), (TASK_OK, 4), (TASK_OK, 6)]
+
+    def test_serial_path(self):
+        assert run_tasks(_double, [4], max_workers=1) == [(TASK_OK, 8)]
+        assert run_tasks(_double, [], max_workers=4) == []
+
+    def test_crash_marked_not_raised(self):
+        """A worker dying hard must surface as TASK_CRASH data, never as
+        an exception, and must not poison the outcome alignment."""
+        outcomes = run_tasks(_exit_on_negative, [1, -1], max_workers=2)
+        assert len(outcomes) == 2
+        assert outcomes[1][0] == TASK_CRASH
+        # the sibling either finished (kept!) or was a pool casualty;
+        # both are legal, but its slot must exist and be well-formed.
+        assert outcomes[0][0] in (TASK_OK, TASK_CRASH)
+        if outcomes[0][0] == TASK_OK:
+            assert outcomes[0][1] == 2
+
+    def test_single_item_still_isolated(self):
+        """One crashing item goes through a pool, not in-process — the
+        driver must survive (a retried poison cell depends on this)."""
+        outcomes = run_tasks(_exit_on_negative, [-1], max_workers=2)
+        assert outcomes == [(TASK_CRASH, outcomes[0][1])]
+        assert "BrokenProcessPool" in outcomes[0][1]
+
+    def test_on_result_streams(self):
+        seen = []
+        run_tasks(_double, [5, 6], max_workers=2,
+                  on_result=lambda i, outcome: seen.append((i, outcome)))
+        assert sorted(seen) == [(0, (TASK_OK, 10)), (1, (TASK_OK, 12))]

@@ -233,6 +233,24 @@ class TestRunManifest:
         RunManifest("trace", {}).write("-", stream=buf)
         assert json.loads(buf.getvalue())["command"] == "trace"
 
+    def test_run_id_deterministic(self):
+        """The run id is a content hash of (command, args): the same
+        resolved configuration always maps to the same id, across
+        processes and reruns, so stores can deduplicate manifests."""
+        a = RunManifest("predict", {"bench": "gcc", "length": 10})
+        b = RunManifest("predict", {"length": 10, "bench": "gcc"})
+        assert a.run_id == b.run_id  # key order is irrelevant
+        assert len(a.run_id) == 16
+        assert a.run_id != RunManifest("predict", {"bench": "gcc",
+                                                   "length": 11}).run_id
+        assert a.run_id != RunManifest("simulate", {"bench": "gcc",
+                                                    "length": 10}).run_id
+
+    def test_run_id_in_document(self):
+        manifest = RunManifest("trace", {"x": 1})
+        doc = json.loads(manifest.to_json())
+        assert doc["run_id"] == manifest.run_id
+
 
 class TestProgressPrinter:
     def test_silent_when_not_a_tty(self):

@@ -154,6 +154,77 @@ class TestTraceCache:
         assert list(trace) == list(get("gcc").trace(300))
 
 
+class TestGenerationLock:
+    def test_concurrent_misses_generate_once(self, tmp_path):
+        """Two threads missing the same key: one generates, the other
+        waits on the lock and loads the winner's entry."""
+        import threading
+
+        cache = TraceCache(root=tmp_path / "cache",
+                           metrics=MetricsRegistry())
+        calls = []
+        original = TraceCache._generate_and_store
+
+        def slow_generate(self, spec, path, length, seed, code_copies):
+            calls.append(threading.get_ident())
+            import time
+            time.sleep(0.15)  # widen the race window
+            return original(self, spec, path, length, seed, code_copies)
+
+        TraceCache._generate_and_store = slow_generate
+        try:
+            results = {}
+
+            def worker(tag):
+                results[tag] = cache.load_or_generate("gcc", 1500)
+
+            threads = [threading.Thread(target=worker, args=(t,))
+                       for t in ("a", "b")]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        finally:
+            TraceCache._generate_and_store = original
+        assert len(calls) == 1, "exactly one thread must generate"
+        assert list(results["a"]) == list(results["b"])
+        assert counters(cache)["cache.lock_wait"] == 1
+        # the lock is gone afterwards
+        assert not list((tmp_path / "cache").glob("*.lock"))
+
+    def test_stale_lock_broken(self, cache):
+        path = cache.entry_path("gcc", 900, get("gcc").seed, 1)
+        lock = path.with_name(path.name + ".lock")
+        cache.root.mkdir(parents=True, exist_ok=True)
+        lock.write_text("999999\n")
+        old = os.stat(lock).st_mtime - cache.lock_stale_s - 10
+        os.utime(lock, (old, old))
+        # the pre-existing (stale) lock denies acquisition once, forcing
+        # the waiter path, which detects the age and breaks it
+        trace = cache.load_or_generate("gcc", 900)
+        assert list(trace) == list(get("gcc").trace(900))
+        assert counters(cache)["cache.lock_wait"] == 1
+        assert not lock.exists()
+
+    def test_lock_timeout_generates_anyway(self, cache):
+        path = cache.entry_path("mcf", 700, get("mcf").seed, 1)
+        lock = path.with_name(path.name + ".lock")
+        cache.root.mkdir(parents=True, exist_ok=True)
+        lock.write_text("1\n")  # fresh lock, wedged holder
+        cache.lock_timeout_s = 0.2
+        cache.lock_stale_s = 3600.0
+        trace = cache.load_or_generate("mcf", 700)
+        assert list(trace) == list(get("mcf").trace(700))
+        assert counters(cache)["cache.miss"] == 1
+
+    def test_clear_removes_stray_locks(self, cache):
+        cache.load_or_generate("gcc", 400)
+        stray = cache.root / ("orphan.rpt" + ".lock")
+        stray.write_text("1\n")
+        cache.clear()
+        assert not stray.exists()
+
+
 class TestEnvironment:
     def test_cache_dir_env(self, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "here"))
