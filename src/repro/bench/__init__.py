@@ -1,0 +1,30 @@
+"""Benchmark performance history: the repo's perf trajectory over time.
+
+Each benchmark session appends one record (git sha, UTC timestamp,
+per-bench wall times, measured floors/speedups) to
+``benchmarks/results/history.jsonl``; ``repro bench history|check`` reads
+that file back — ``check`` compares the latest record against a
+median-of-last-N baseline with per-metric tolerances and exits nonzero on
+regression, which is what lets CI gate the kernel wins from PR 3 instead
+of silently losing them.
+"""
+
+from .history import (
+    DEFAULT_HISTORY_PATH,
+    CheckResult,
+    append_record,
+    check_history,
+    flatten_record,
+    load_history,
+    make_record,
+)
+
+__all__ = [
+    "DEFAULT_HISTORY_PATH",
+    "CheckResult",
+    "append_record",
+    "check_history",
+    "flatten_record",
+    "load_history",
+    "make_record",
+]

@@ -1,0 +1,224 @@
+"""The bench-history store and its regression gate.
+
+``benchmarks/results/history.jsonl`` holds one JSON record per benchmark
+session, appended by ``benchmarks/conftest.py``::
+
+    {"schema": 1, "git_sha": "...", "generated_at": "...Z",
+     "exit_status": 0, "total_wall_s": 12.3,
+     "benches": {"benchmarks/bench_x.py::bench_y": 1.2, ...},
+     "metrics": {"kernels": {"gdiff_speedup_x": 4.3, ...}, ...}}
+
+The gate (:func:`check_history`) flattens each record into named scalar
+metrics and compares the latest record against the **median of the
+previous N** records that carry the same metric — the median, not the
+last run, so one lucky (or unlucky) session cannot move the baseline.
+Directions are inferred from the metric name:
+
+* wall times (``bench:...`` durations, ``total_wall_s``, any metric key
+  ending in ``_s``/``_ms``) regress when they grow: fail when
+  ``latest > median * slow_tol``.
+* measured speedups/ratios vs. a floor (keys ending in ``_x`` or
+  containing ``speedup``) regress when they shrink: fail when
+  ``latest < median * floor_tol``.
+* everything else is reported for context but never gates.
+
+Tolerances default to ``slow_tol=1.75`` / ``floor_tol=0.6``: generous
+enough that two clean back-to-back runs pass on a noisy machine, tight
+enough that a genuine 2x regression exits nonzero (the acceptance
+criterion this module exists for).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from statistics import median
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+#: Where the suite's history lives, relative to the repo root.
+DEFAULT_HISTORY_PATH = "benchmarks/results/history.jsonl"
+
+HISTORY_SCHEMA_VERSION = 1
+
+#: How many prior records the baseline median is taken over.
+DEFAULT_BASELINE_N = 5
+
+DIRECTION_HIGHER_BAD = "higher-bad"
+DIRECTION_LOWER_BAD = "lower-bad"
+DIRECTION_INFO = "info"
+
+
+def make_record(benches: Dict[str, float],
+                metrics: Dict[str, Dict[str, Any]],
+                git_sha: Optional[str],
+                generated_at: str,
+                exit_status: int = 0) -> Dict[str, Any]:
+    """One history record for a bench session (sha + timestamp keyed)."""
+    return {
+        "schema": HISTORY_SCHEMA_VERSION,
+        "git_sha": git_sha,
+        "generated_at": generated_at,
+        "exit_status": int(exit_status),
+        "total_wall_s": round(sum(benches.values()), 4),
+        "benches": {k: round(v, 4) for k, v in sorted(benches.items())},
+        "metrics": {k: dict(sorted(v.items()))
+                    for k, v in sorted(metrics.items())},
+    }
+
+
+def append_record(record: Dict[str, Any],
+                  path: Union[str, Path] = DEFAULT_HISTORY_PATH) -> Path:
+    """Append one record as a JSON line (creating parents as needed)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(record, sort_keys=False) + "\n")
+    return path
+
+
+def load_history(path: Union[str, Path] = DEFAULT_HISTORY_PATH
+                 ) -> List[Dict[str, Any]]:
+    """Every readable record, oldest first; damaged lines are skipped
+    (an interrupted append must not poison the whole trajectory)."""
+    records: List[Dict[str, Any]] = []
+    try:
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(record, dict) and record.get("benches"):
+                    records.append(record)
+    except OSError:
+        return []
+    return records
+
+
+def metric_direction(name: str) -> str:
+    """Which way a metric regresses, inferred from its name."""
+    if name.startswith("bench:") or name == "total_wall_s":
+        return DIRECTION_HIGHER_BAD
+    key = name.rsplit(".", 1)[-1]
+    if key.endswith("_s") or key.endswith("_ms"):
+        return DIRECTION_HIGHER_BAD
+    if key.endswith("_x") or "speedup" in key:
+        return DIRECTION_LOWER_BAD
+    return DIRECTION_INFO
+
+
+def flatten_record(record: Dict[str, Any]) -> Dict[str, float]:
+    """Record → flat ``{metric_name: value}`` over every numeric scalar.
+
+    Bench wall times flatten to ``bench:<nodeid>``; recorded metric
+    sections flatten to ``metric:<section>.<key>``.
+    """
+    flat: Dict[str, float] = {}
+    total = record.get("total_wall_s")
+    if isinstance(total, (int, float)):
+        flat["total_wall_s"] = float(total)
+    for nodeid, value in (record.get("benches") or {}).items():
+        if isinstance(value, dict):  # tolerate conftest's richer shape
+            value = value.get("duration_s")
+        if isinstance(value, (int, float)):
+            flat[f"bench:{nodeid}"] = float(value)
+    for section, values in (record.get("metrics") or {}).items():
+        if not isinstance(values, dict):
+            continue
+        for key, value in values.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                flat[f"metric:{section}.{key}"] = float(value)
+    return flat
+
+
+@dataclass
+class CheckResult:
+    """One metric's latest-vs-baseline comparison."""
+
+    metric: str
+    direction: str
+    baseline: float
+    latest: float
+    limit: float
+    samples: int
+    ok: bool
+
+    @property
+    def ratio(self) -> Optional[float]:
+        if not self.baseline:
+            return None
+        return self.latest / self.baseline
+
+    def render(self) -> str:
+        mark = "ok  " if self.ok else "FAIL"
+        ratio = self.ratio
+        ratio_text = f"{ratio:5.2f}x" if ratio is not None else "    ?"
+        return (f"  {mark} {ratio_text}  {self.metric}: "
+                f"{self.latest:g} vs median {self.baseline:g} "
+                f"(n={self.samples}, limit {self.limit:g})")
+
+
+def check_history(records: List[Dict[str, Any]],
+                  last_n: int = DEFAULT_BASELINE_N,
+                  slow_tol: float = 1.75,
+                  floor_tol: float = 0.6,
+                  ) -> Tuple[bool, List[CheckResult]]:
+    """Gate the newest record against the median of its predecessors.
+
+    Returns ``(ok, results)``.  With fewer than two records there is no
+    baseline and the check passes vacuously (``results`` empty) — the
+    first run of a fresh checkout must not fail CI.  A metric present in
+    the latest record but in no prior one also passes vacuously: new
+    benches enter the trajectory without gating themselves.
+    """
+    if len(records) < 2:
+        return True, []
+    latest = flatten_record(records[-1])
+    previous = [flatten_record(r) for r in records[:-1]]
+    results: List[CheckResult] = []
+    for name in sorted(latest):
+        samples = [flat[name] for flat in previous[-last_n:]
+                   if name in flat]
+        if not samples:
+            continue
+        baseline = float(median(samples))
+        value = latest[name]
+        direction = metric_direction(name)
+        if direction == DIRECTION_HIGHER_BAD:
+            limit = baseline * slow_tol
+            ok = value <= limit or baseline == 0.0
+        elif direction == DIRECTION_LOWER_BAD:
+            limit = baseline * floor_tol
+            ok = value >= limit
+        else:
+            limit = baseline
+            ok = True
+        results.append(CheckResult(metric=name, direction=direction,
+                                   baseline=baseline, latest=value,
+                                   limit=limit, samples=len(samples),
+                                   ok=ok))
+    return all(r.ok for r in results), results
+
+
+def render_history(records: List[Dict[str, Any]],
+                   last_n: Optional[int] = None) -> List[str]:
+    """Human-readable listing of the trajectory, newest last."""
+    if not records:
+        return ["no bench history recorded yet"]
+    shown = records if last_n is None else records[-last_n:]
+    lines = [f"bench history: {len(records)} record(s)"
+             + (f", showing last {len(shown)}" if len(shown) < len(records)
+                else "")]
+    for record in shown:
+        sha = (record.get("git_sha") or "?")[:10]
+        stamp = record.get("generated_at", "?")
+        benches = record.get("benches") or {}
+        lines.append(f"  {stamp}  {sha:10s}  "
+                     f"{len(benches)} benches  "
+                     f"{record.get('total_wall_s', 0):8.2f}s total  "
+                     f"exit {record.get('exit_status', '?')}")
+    return lines

@@ -10,7 +10,13 @@ resume`` (see docs/CAMPAIGNS.md).
 """
 
 from .fidelity import FidelityCheck, check_fidelity, render_checks
-from .report import render_report, report_tables, status_lines
+from .report import (
+    render_report,
+    report_tables,
+    status_lines,
+    telemetry_lines,
+    watch_lines,
+)
 from .scheduler import CampaignRunSummary, CampaignScheduler, RetryPolicy
 from .spec import CampaignSpec, Cell, SpecError
 from .store import CampaignStore, StoreError
@@ -30,4 +36,6 @@ __all__ = [
     "render_report",
     "report_tables",
     "status_lines",
+    "telemetry_lines",
+    "watch_lines",
 ]

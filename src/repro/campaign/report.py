@@ -18,10 +18,17 @@ from .store import STATUS_DONE, STATUS_QUARANTINED, CampaignStore
 
 
 def status_lines(spec: CampaignSpec, store: CampaignStore) -> List[str]:
-    """Per-cell one-liners plus a totals header."""
+    """Per-cell one-liners plus a totals header.
+
+    Completed cells show wall time (and events/s when the stored
+    telemetry has it); quarantined cells show the error *and* the
+    outermost traceback frame, so the status view names where a poisoned
+    configuration broke without opening its record.
+    """
     cells = spec.cells()
     counts = {"done": 0, "quarantined": 0, "pending": 0}
     rows: List[Tuple[str, str, str]] = []
+    quarantine_frames: List[Tuple[str, str]] = []
     for cell in cells:
         status = store.status(cell.cell_id)
         counts[status] = counts.get(status, 0) + 1
@@ -30,8 +37,14 @@ def status_lines(spec: CampaignSpec, store: CampaignStore) -> List[str]:
         if summary is not None:
             if status == STATUS_DONE and summary.get("duration_s"):
                 detail = f"{summary['duration_s']:.2f}s"
+                rate = (summary.get("telemetry") or {}).get("events_per_s")
+                if rate:
+                    detail += f"  {rate:,.0f} ev/s"
             elif status == STATUS_QUARANTINED:
                 detail = summary.get("error", "")
+                frame = summary.get("traceback_frame", "")
+                if frame:
+                    quarantine_frames.append((cell.label, frame))
         rows.append((cell.label, status, detail))
     width = max(len(label) for label, _s, _d in rows)
     lines = [
@@ -44,6 +57,113 @@ def status_lines(spec: CampaignSpec, store: CampaignStore) -> List[str]:
         if detail:
             line += f"  {detail}"
         lines.append(line)
+    for label, frame in quarantine_frames:
+        lines.append(f"  ! {label}: {frame}")
+    return lines
+
+
+def watch_lines(spec: CampaignSpec, store: CampaignStore) -> List[str]:
+    """One refresh frame of ``campaign status --watch``.
+
+    Rendered purely from the store index: completion bar, aggregate
+    throughput over completed cells, and an ETA that scales the mean
+    completed-cell wall time by what is still pending (a serial-time
+    estimate — an N-worker pool divides it by roughly N).
+    """
+    cells = spec.cells()
+    done: List[Dict[str, Any]] = []
+    quarantined = 0
+    pending = 0
+    for cell in cells:
+        status = store.status(cell.cell_id)
+        if status == STATUS_DONE:
+            done.append(store.summary(cell.cell_id) or {})
+        elif status == STATUS_QUARANTINED:
+            quarantined += 1
+        else:
+            pending += 1
+    total = len(cells)
+    frac = (len(done) + quarantined) / total if total else 1.0
+    bar = "#" * int(round(frac * 30))
+    lines = [
+        f"campaign {spec.name}  [{bar.ljust(30)}] "
+        f"{len(done) + quarantined}/{total}",
+        f"  done {len(done)}  running/pending {pending}  "
+        f"quarantined {quarantined}",
+    ]
+    durations = [s.get("duration_s") for s in done
+                 if s.get("duration_s")]
+    events = sum((s.get("telemetry") or {}).get("events", 0) for s in done)
+    if durations:
+        mean = sum(durations) / len(durations)
+        lines.append(f"  mean cell {mean:.2f}s"
+                     + (f"  throughput {events / sum(durations):,.0f} ev/s"
+                        if events else ""))
+        if pending:
+            lines.append(f"  eta ~{mean * pending:.0f}s of cell time "
+                         f"remaining ({pending} cells, serial estimate)")
+    slow = sorted(((s.get("duration_s") or 0.0, s.get("label", ""))
+                   for s in done), reverse=True)[:3]
+    for duration, label in slow:
+        lines.append(f"  slowest: {label}  {duration:.2f}s")
+    return lines
+
+
+def telemetry_lines(spec: CampaignSpec, store: CampaignStore,
+                    slowest: int = 5) -> List[str]:
+    """The ``report --telemetry`` section, from stored records alone.
+
+    Three views of where campaign time went: the slowest cells with
+    throughput, every cell that needed retries or landed in quarantine,
+    and the aggregate trace-cache hit rate across all cell executions.
+    """
+    cells = spec.cells()
+    done_rows: List[Tuple[float, str, Dict[str, Any]]] = []
+    retry_rows: List[str] = []
+    hits = misses = 0
+    for cell in cells:
+        summary = store.summary(cell.cell_id)
+        if summary is None:
+            continue
+        attempts = summary.get("attempts", 1)
+        if summary.get("status") == STATUS_DONE:
+            telemetry = summary.get("telemetry") or {}
+            done_rows.append((summary.get("duration_s") or 0.0,
+                              cell.label, telemetry))
+            hits += telemetry.get("cache_hits", 0)
+            misses += telemetry.get("cache_misses", 0)
+            if attempts > 1:
+                retry_rows.append(f"  {cell.label}: completed after "
+                                  f"{attempts} attempts")
+        else:
+            error = summary.get("error", "?")
+            frame = summary.get("traceback_frame", "")
+            retry_rows.append(
+                f"  {cell.label}: QUARANTINED after {attempts} "
+                f"attempt(s) — {error}" + (f" [{frame}]" if frame else ""))
+    lines = ["campaign telemetry:"]
+    if done_rows:
+        total_wall = sum(d for d, _l, _t in done_rows)
+        lines.append(f"  completed cell wall time: {total_wall:.2f}s "
+                     f"across {len(done_rows)} cells")
+        lines.append(f"  slowest {min(slowest, len(done_rows))} cells:")
+        for duration, label, telemetry in sorted(done_rows,
+                                                 reverse=True)[:slowest]:
+            rate = telemetry.get("events_per_s")
+            cpu = telemetry.get("cpu_s")
+            extra = "".join([
+                f"  {rate:,.0f} ev/s" if rate else "",
+                f"  cpu {cpu:.2f}s" if cpu is not None else "",
+            ])
+            lines.append(f"    {label}: {duration:.2f}s{extra}")
+    if hits or misses:
+        lines.append(f"  trace cache: {hits} hits / {misses} misses "
+                     f"({hits / (hits + misses):.0%} hit rate)")
+    if retry_rows:
+        lines.append("  retries and quarantine:")
+        lines.extend(["  " + row for row in retry_rows])
+    else:
+        lines.append("  retries and quarantine: none")
     return lines
 
 

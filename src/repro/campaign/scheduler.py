@@ -29,6 +29,7 @@ machine, ever.
 
 from __future__ import annotations
 
+import functools
 import os
 import time
 import traceback
@@ -122,63 +123,111 @@ def _make_predictor(params: Dict[str, Any]):
     raise ValueError(f"unknown predictor {name!r}")
 
 
-def _execute_cell(config: Dict[str, Any]) -> Dict[str, Any]:
+def _cell_telemetry(registry: MetricsRegistry, duration_s: float,
+                    cpu_s: float) -> Dict[str, Any]:
+    """The per-cell telemetry summary persisted alongside the result.
+
+    Everything here is derived from the cell's own registry, so the
+    stored record is self-describing: ``campaign status``/``report
+    --telemetry`` render throughput, retry, and cache behaviour from the
+    store alone, long after the run.
+    """
+    def count(name: str) -> int:
+        counter = registry.counters.get(name)
+        return counter.value if counter is not None else 0
+
+    def leaf(phase_name: str) -> str:
+        # Phases nest with "/" (the cell body runs under a "cell" timer),
+        # so the work phase of a predict cell is "cell/predict".
+        return phase_name.rsplit("/", 1)[-1]
+
+    events = (count("harness.value_instructions") or count("ooo.retired")
+              or sum(p.items for n, p in registry.phases.items()
+                     if leaf(n) == "predict"
+                     or leaf(n).startswith("experiment.")))
+    return {
+        "duration_s": round(duration_s, 6),
+        "cpu_s": round(cpu_s, 6),
+        "events": events,
+        "events_per_s": (round(events / duration_s, 1)
+                         if duration_s > 0 and events else None),
+        "cache_hits": count("cache.hit"),
+        "cache_misses": count("cache.miss"),
+    }
+
+
+def _execute_cell(config: Dict[str, Any],
+                  span_ctx: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
     """Run one cell to completion and return its record payload."""
     from ..harness.experiments import run_experiment
     from ..harness.runner import run_value_prediction
     from ..trace.cache import cached_trace
 
     registry = MetricsRegistry()
+    if span_ctx is not None:
+        registry.enable_spans(context=span_ctx)
     kind = config["kind"]
     params = dict(config["params"])
     started = time.perf_counter()
-    if kind == "experiment":
-        name = params.pop("experiment")
-        result = run_experiment(name, registry=registry, **params)
-        payload: Dict[str, Any] = {"experiment": result.as_dict()}
-    else:
-        trace = cached_trace(params["bench"], params.get("length", 100_000),
-                             seed=params.get("seed"),
-                             code_copies=params.get("code_copies", 1),
-                             metrics=registry)
-        predictor = _make_predictor(params)
-        with registry.timer("predict"):
-            stats = run_value_prediction(
-                trace, {params["predictor"]: predictor},
-                gated=bool(params.get("gated", False)))
-        payload = {"stats": {name: s.as_dict()
-                             for name, s in stats.items()}}
+    cpu_started = time.process_time()
+    with registry.timer("cell"):
+        if kind == "experiment":
+            name = params.pop("experiment")
+            result = run_experiment(name, registry=registry, **params)
+            payload: Dict[str, Any] = {"experiment": result.as_dict()}
+        else:
+            trace = cached_trace(params["bench"],
+                                 params.get("length", 100_000),
+                                 seed=params.get("seed"),
+                                 code_copies=params.get("code_copies", 1),
+                                 metrics=registry)
+            predictor = _make_predictor(params)
+            # No metrics/events are threaded into the harness here: a
+            # registry would force the per-pair object path, and campaign
+            # predict cells must stay on the fused kernels (PR 3).  The
+            # phase's item count carries the throughput denominator.
+            with registry.timer("predict") as span:
+                stats = run_value_prediction(
+                    trace, {params["predictor"]: predictor},
+                    gated=bool(params.get("gated", False)))
+                span.items = len(trace)
+            payload = {"stats": {name: s.as_dict()
+                                 for name, s in stats.items()}}
+    duration = time.perf_counter() - started
     manifest = RunManifest("campaign-cell", config)
     manifest.finish()
     return {
         "payload": payload,
         "metrics": registry.as_dict(),
-        "duration_s": time.perf_counter() - started,
+        "duration_s": duration,
+        "telemetry": _cell_telemetry(
+            registry, duration, time.process_time() - cpu_started),
         "manifest": manifest.as_dict(),
     }
 
 
-def _cell_worker(config: Dict[str, Any]) -> Tuple[str, Any]:
+def _cell_worker(config: Dict[str, Any],
+                 span_ctx: Optional[Dict[str, Any]] = None) -> Tuple[str, Any]:
     """Pool entry point: soft failures come back as data, never as an
     exception that would poison the pool."""
     try:
-        return ("done", _execute_cell(config))
+        return ("done", _execute_cell(config, span_ctx))
     except Exception as exc:
         return ("failed", f"{type(exc).__name__}: {exc}",
                 traceback.format_exc())
 
 
-def _crashing_cell_worker(config):  # pragma: no cover - subprocess
+def _crashing_cell_worker(config, span_ctx=None):  # pragma: no cover - subprocess
     """Fault injection: every cell hard-kills its worker (and pool)."""
     os._exit(13)
 
 
-def _crash_marked_cell_worker(config):  # pragma: no cover - subprocess
+def _crash_marked_cell_worker(config, span_ctx=None):  # pragma: no cover - subprocess
     """Fault injection: cells whose params carry ``crash_marker`` die
     hard; everything else runs normally."""
     if config["params"].get("length") == 4242:
         os._exit(13)
-    return _cell_worker(config)
+    return _cell_worker(config, span_ctx)
 
 
 # ---------------------------------------------------------------------------
@@ -308,6 +357,15 @@ class CampaignScheduler:
         if self.warm:
             self.warm_cache(pending)
 
+        # Workers record spans under the driver's current span when the
+        # driver is tracing (``--trace-out``); the context is baked into
+        # a partial so ``run_tasks`` stays agnostic of span plumbing.
+        span_ctx = (self.registry.span_tracker.context()
+                    if self.registry is not None
+                    and self.registry.span_tracker is not None else None)
+        worker = (self.cell_worker if span_ctx is None else
+                  functools.partial(self.cell_worker, span_ctx=span_ctx))
+
         attempts: Dict[str, int] = {}
         round_no = 0
         isolate = False
@@ -332,12 +390,12 @@ class CampaignScheduler:
                 outcomes = []
                 for c in batch:
                     outcomes.extend(run_tasks(
-                        self.cell_worker, [c.config()],
+                        worker, [c.config()],
                         max_workers=self.max_workers,
                         registry=self.registry))
             else:
                 outcomes = run_tasks(
-                    self.cell_worker, [c.config() for c in batch],
+                    worker, [c.config() for c in batch],
                     max_workers=self.max_workers, registry=self.registry)
             requeue: List[Cell] = []
             any_failures = False
@@ -395,6 +453,7 @@ class CampaignScheduler:
             attempts=attempt,
             duration_s=outcome.get("duration_s"),
             manifest=outcome.get("manifest"),
+            telemetry=outcome.get("telemetry"),
         )
         self._count("cells.completed")
         if self.registry is not None:
@@ -405,6 +464,9 @@ class CampaignScheduler:
             if duration is not None:
                 self.registry.series_of("campaign.cell_wall_s").append(
                     round(duration, 6))
+                self.registry.histogram(
+                    "campaign.cell_seconds", bucket_width=0.5).observe(
+                        round(duration, 6))
         log.info("cell %s done in %.2fs (attempt %d)", cell.label,
                  outcome.get("duration_s") or 0.0, attempt)
 

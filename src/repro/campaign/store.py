@@ -47,6 +47,21 @@ class StoreError(RuntimeError):
     """A campaign directory that cannot be used as asked."""
 
 
+def _traceback_frame(traceback_text: str) -> str:
+    """The first frame line of a formatted traceback (where it broke).
+
+    A formatted traceback opens with the useless "Traceback (most recent
+    call last):" banner; the first ``File "..."`` line names the
+    outermost broken frame, which is what a status view should show next
+    to the exception itself.
+    """
+    for line in (traceback_text or "").splitlines():
+        line = line.strip()
+        if line.startswith('File "'):
+            return line
+    return ""
+
+
 def _atomic_write_json(path: Path, payload: Any) -> None:
     """Write *payload* as JSON such that readers never see a torn file."""
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -111,6 +126,15 @@ class CampaignStore:
         self._load_index()
         return stored
 
+    def refresh(self) -> None:
+        """Re-read the index from disk.
+
+        Live views (``campaign status --watch``) poll a store that a
+        *different* process is writing; rereading the index (with the
+        usual self-heal) picks up cells completed since the last frame.
+        """
+        self._load_index()
+
     def read_snapshot(self) -> Dict[str, Any]:
         try:
             with open(self.snapshot_path, encoding="utf-8") as fh:
@@ -171,8 +195,14 @@ class CampaignStore:
         }
         if status == STATUS_DONE:
             summary["duration_s"] = record.get("duration_s")
+            telemetry = record.get("telemetry")
+            if telemetry:
+                summary["telemetry"] = telemetry
         else:
             summary["error"] = record.get("error", "")
+            frame = _traceback_frame(record.get("traceback", ""))
+            if frame:
+                summary["traceback_frame"] = frame
         return summary
 
     # -- queries ----------------------------------------------------------
@@ -222,7 +252,8 @@ class CampaignStore:
                      metrics: Optional[Dict[str, Any]] = None,
                      attempts: int = 1,
                      duration_s: Optional[float] = None,
-                     manifest: Optional[Dict[str, Any]] = None) -> Path:
+                     manifest: Optional[Dict[str, Any]] = None,
+                     telemetry: Optional[Dict[str, Any]] = None) -> Path:
         """Record one completed cell (atomically) and update the index.
 
         A cell that had been quarantined and now succeeded (e.g. a crash
@@ -238,6 +269,8 @@ class CampaignStore:
             "duration_s": duration_s,
             "result": result,
         }
+        if telemetry is not None:
+            record["telemetry"] = telemetry
         if metrics is not None:
             record["metrics"] = metrics
         if manifest is not None:

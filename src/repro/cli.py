@@ -21,14 +21,20 @@ Subcommands:
   experiment campaigns: expand a TOML/JSON parameter grid, execute it
   resumably across workers with retry + quarantine, and report (or
   fidelity-check) straight from the durable results store
-  (docs/CAMPAIGNS.md).
+  (docs/CAMPAIGNS.md).  ``status --watch`` is a live progress view;
+  ``report --telemetry`` adds slowest cells, retries, and cache hit rate.
+* ``repro bench history|check`` — the benchmark suite's perf trajectory
+  (``benchmarks/results/history.jsonl``) and its regression gate
+  (docs/OBSERVABILITY.md).
 
 Every subcommand accepts the shared telemetry flags (docs/TELEMETRY.md):
 ``--metrics-out FILE`` writes a JSON run manifest (``-`` streams it to
 stdout, pushing the human-readable output to stderr), ``--trace-events
-FILE`` writes sampled prediction events as JSON lines, and ``-v``/``-vv``
-turn on INFO/DEBUG logging for the ``repro.*`` namespace.  Long runs show
-a single-line progress display on a TTY (silent when piped).
+FILE`` writes sampled prediction events as JSON lines, ``--trace-out
+FILE`` exports the run's span timeline in Chrome trace-event format
+(docs/OBSERVABILITY.md), and ``-v``/``-vv`` turn on INFO/DEBUG logging
+for the ``repro.*`` namespace.  Long runs show a single-line progress
+display on a TTY (silent when piped).
 """
 
 from __future__ import annotations
@@ -68,6 +74,7 @@ from .telemetry import (
     RunManifest,
     configure_logging,
     get_logger,
+    write_chrome_trace,
 )
 from .trace.cache import cache_enabled, default_cache
 from .trace.workloads import BENCHMARKS, get
@@ -116,32 +123,51 @@ class _NullSpan:
 class _Telemetry:
     """Per-invocation telemetry wiring derived from the common flags.
 
-    Centralises the four decisions every command makes: whether a
+    Centralises the decisions every command makes: whether a
     registry/manifest exists, where sampled events go, where *human*
     output goes (stderr when the manifest is streamed to stdout, so
-    ``repro ... --metrics-out - | jq .`` just works), and writing the
-    artefacts out at the end.
+    ``repro ... --metrics-out - | jq .`` just works), whether spans are
+    being traced (``--trace-out`` opens a root span covering the whole
+    command and exports a Chrome trace-event file at the end), and
+    writing the artefacts out at the end.
     """
 
     def __init__(self, args: argparse.Namespace, command: str):
+        import time as _time
+
         self.metrics_out: Optional[str] = getattr(args, "metrics_out", None)
         self.trace_events: Optional[str] = getattr(args, "trace_events", None)
-        enabled = bool(self.metrics_out or self.trace_events)
+        self.trace_out: Optional[str] = getattr(args, "trace_out", None)
+        enabled = bool(self.metrics_out or self.trace_events
+                       or self.trace_out)
         self.registry = MetricsRegistry() if enabled else None
-        self.events = EventRecorder(
-            sample_rate=getattr(args, "trace_sample", 1.0),
-            seed=getattr(args, "trace_seed", 0),
-        ) if self.trace_events else None
         self.manifest = RunManifest(
             command,
             {k: v for k, v in vars(args).items() if k != "command"},
         ) if self.metrics_out else None
+        # Every span/event timestamp of this run is anchored to one
+        # wall-clock epoch — the manifest's, so separate worker processes
+        # align on one exported timeline.
+        self._epoch_ns = (self.manifest.clock_epoch_ns
+                          if self.manifest is not None else _time.time_ns())
+        self._root_span = None
+        if self.trace_out:
+            tracker = self.registry.enable_spans()
+            self._root_span = tracker.begin(command)
+        self.events = EventRecorder(
+            sample_rate=getattr(args, "trace_sample", 1.0),
+            seed=getattr(args, "trace_seed", 0),
+            # Stamp events onto the shared timeline only when spans are
+            # being traced; unstamped events stay byte-reproducible.
+            epoch_ns=self._epoch_ns if self.trace_out else None,
+        ) if self.trace_events else None
         self.human = sys.stderr if "-" in (self.metrics_out,
-                                           self.trace_events) else sys.stdout
+                                           self.trace_events,
+                                           self.trace_out) else sys.stdout
         self._no_progress = getattr(args, "no_progress", False)
         # Fail before the run, not after: a long simulation should not
         # complete and then discover its output path is unwritable.
-        for path in (self.metrics_out, self.trace_events):
+        for path in (self.metrics_out, self.trace_events, self.trace_out):
             if path and path != "-":
                 try:
                     open(path, "a", encoding="utf-8").close()
@@ -164,6 +190,20 @@ class _Telemetry:
             self.manifest.add(section, payload)
 
     def finish(self) -> None:
+        if self._root_span is not None:
+            import os
+
+            tracker = self.registry.span_tracker
+            tracker.end(self._root_span)
+            count = write_chrome_trace(self.trace_out, tracker.spans,
+                                       epoch_ns=self._epoch_ns,
+                                       driver_pid=os.getpid(),
+                                       trace_id=tracker.trace_id)
+            log.info("wrote %d spans to %s", count, self.trace_out)
+            if self.trace_out != "-":
+                print(f"{count} spans saved to {self.trace_out} "
+                      "(Chrome trace format; open in ui.perfetto.dev)",
+                      file=self.human)
         if self.manifest is not None:
             self.manifest.finish()
             self.manifest.write(self.metrics_out, self.registry)
@@ -522,6 +562,75 @@ def _campaign_target(args: argparse.Namespace):
         raise SystemExit(str(exc))
 
 
+def _watch_campaign(spec, store, frame_fn, out, interval: float) -> None:
+    """Refresh the live status frame until every cell has a verdict.
+
+    Each frame re-reads the store index (another process is doing the
+    actual running), so a concurrent ``campaign run`` drives the display.
+    A TTY gets ANSI clear-and-home between frames; a pipe gets frames
+    separated by blank lines.  Ctrl-C exits the watch, not the campaign.
+    """
+    import time
+
+    clear = "\033[2J\033[H" if out.isatty() else "\n"
+    total = len(spec.cells())
+    try:
+        while True:
+            store.refresh()
+            print(clear + "\n".join(frame_fn(spec, store)), file=out,
+                  flush=True)
+            counts = store.counts()
+            if sum(counts.values()) >= total:
+                print("campaign complete", file=out)
+                return
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        print("", file=out)
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """``repro bench history|check`` — the perf trajectory and its gate."""
+    from .bench import check_history, load_history
+    from .bench.history import render_history
+
+    tele = _Telemetry(args, f"bench-{args.action}")
+    out = tele.human
+    records = load_history(args.file)
+    if args.action == "history":
+        print("\n".join(render_history(records, last_n=args.last or None)),
+              file=out)
+        tele.add("bench_history", {"file": args.file,
+                                   "records": len(records)})
+        tele.finish()
+        return 0
+
+    # check
+    ok, results = check_history(records, last_n=args.last,
+                                slow_tol=args.slow_tol,
+                                floor_tol=args.floor_tol)
+    if not results:
+        print(f"bench check: no baseline yet ({len(records)} record(s) in "
+              f"{args.file}); passing vacuously", file=out)
+    else:
+        gated = [r for r in results if r.direction != "info"]
+        failed = [r for r in results if not r.ok]
+        print(f"bench check: latest vs median of last {args.last} "
+              f"({len(gated)} gated metrics, {len(failed)} regressed)",
+              file=out)
+        for result in results:
+            print(result.render(), file=out)
+    tele.add("bench_check", {
+        "file": args.file,
+        "ok": ok,
+        "records": len(records),
+        "results": [{"metric": r.metric, "direction": r.direction,
+                     "baseline": r.baseline, "latest": r.latest,
+                     "limit": r.limit, "ok": r.ok} for r in results],
+    })
+    tele.finish()
+    return 0 if ok else 2
+
+
 def cmd_campaign(args: argparse.Namespace) -> int:
     from .campaign import (
         CampaignScheduler,
@@ -531,6 +640,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         render_checks,
         render_report,
         status_lines,
+        telemetry_lines,
+        watch_lines,
     )
 
     tele = _Telemetry(args, f"campaign-{args.action}")
@@ -591,7 +702,10 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     if not store.exists():
         raise SystemExit(f"{store.root} is not a campaign directory")
     if args.action == "status":
-        print("\n".join(status_lines(spec, store)), file=out)
+        if args.watch:
+            _watch_campaign(spec, store, watch_lines, out, args.interval)
+        else:
+            print("\n".join(status_lines(spec, store)), file=out)
         tele.add("campaign", {"name": spec.name, "store": store.counts()})
         tele.finish()
         return 0
@@ -599,6 +713,9 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     # report
     text = render_report(spec, store)
     print(text, file=out)
+    if args.telemetry:
+        print("", file=out)
+        print("\n".join(telemetry_lines(spec, store)), file=out)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             fh.write(text + "\n")
@@ -643,6 +760,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "stdout (tables then print to stderr)")
     group.add_argument("--trace-events", metavar="FILE",
                        help="write sampled prediction events as JSON lines")
+    group.add_argument("--trace-out", metavar="FILE",
+                       help="write a Chrome trace-event span timeline "
+                            "(open in ui.perfetto.dev); '-' streams it "
+                            "to stdout")
     group.add_argument("--trace-sample", type=_sample_rate, default=0.01,
                        metavar="RATE",
                        help="event sampling probability in [0, 1] "
@@ -773,6 +894,13 @@ def build_parser() -> argparse.ArgumentParser:
                                    help="per-cell completion state from "
                                         "the store")
     _camp_common(p_status)
+    p_status.add_argument("--watch", action="store_true",
+                          help="live-refreshing progress view (bar, "
+                               "throughput, ETA) until the campaign "
+                               "completes; Ctrl-C exits")
+    p_status.add_argument("--interval", type=float, default=2.0,
+                          metavar="SECONDS",
+                          help="refresh period for --watch (default 2)")
 
     p_report = camp_sub.add_parser("report", parents=[telemetry],
                                    help="render result tables from the "
@@ -781,7 +909,44 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--check", action="store_true",
                           help="run the paper-fidelity gate; exit 2 on "
                                "drift")
+    p_report.add_argument("--telemetry", action="store_true",
+                          help="append the execution-telemetry section "
+                               "(slowest cells, retries/quarantine, "
+                               "cache hit rate)")
     p_report.add_argument("--out", help="also save the report here")
+
+    p_bench = sub.add_parser("bench",
+                             help="benchmark perf history and its "
+                                  "regression gate (docs/OBSERVABILITY.md)")
+    bench_sub = p_bench.add_subparsers(dest="action", required=True)
+    from .bench import DEFAULT_HISTORY_PATH
+    from .bench.history import DEFAULT_BASELINE_N
+
+    p_hist = bench_sub.add_parser("history", parents=[telemetry],
+                                  help="list recorded bench sessions, "
+                                       "newest last")
+    p_check = bench_sub.add_parser("check", parents=[telemetry],
+                                   help="gate the latest session against "
+                                        "the median of the last N; exit 2 "
+                                        "on regression")
+    for p in (p_hist, p_check):
+        p.add_argument("--file", default=DEFAULT_HISTORY_PATH,
+                       metavar="JSONL",
+                       help=f"history file (default {DEFAULT_HISTORY_PATH})")
+    p_hist.add_argument("--last", type=int, default=0, metavar="N",
+                        help="show only the last N records (default: all)")
+    p_check.add_argument("--last", type=int, default=DEFAULT_BASELINE_N,
+                         metavar="N",
+                         help="baseline = median of the last N prior "
+                              f"records (default {DEFAULT_BASELINE_N})")
+    p_check.add_argument("--slow-tol", type=float, default=1.75,
+                         metavar="RATIO",
+                         help="wall times may grow to RATIO x baseline "
+                              "before failing (default 1.75)")
+    p_check.add_argument("--floor-tol", type=float, default=0.6,
+                         metavar="RATIO",
+                         help="speedups may shrink to RATIO x baseline "
+                              "before failing (default 0.6)")
     return parser
 
 
@@ -798,6 +963,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run-all": cmd_run_all,
         "cache": cmd_cache,
         "campaign": cmd_campaign,
+        "bench": cmd_bench,
     }
     try:
         return handlers[args.command](args)

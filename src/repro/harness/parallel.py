@@ -72,17 +72,35 @@ def default_workers() -> int:
         return os.cpu_count() or 1
 
 
-def _run_one(name: str, kwargs: Dict) -> Tuple[ExperimentResult, Dict]:
-    """Worker body: one experiment, one fresh registry, shipped as dicts."""
+def _run_one(name: str, kwargs: Dict,
+             span_ctx: Optional[Dict] = None) -> Tuple[ExperimentResult, Dict]:
+    """Worker body: one experiment, one fresh registry, shipped as dicts.
+
+    *span_ctx* is the driver's :meth:`SpanTracker.context`; when given,
+    the worker records spans (under its own pid) parented to the
+    driver-side span that submitted it, and they ride home inside the
+    registry snapshot.
+    """
     registry = MetricsRegistry()
+    if span_ctx is not None:
+        registry.enable_spans(context=span_ctx)
     result = run_experiment(name, registry=registry, **kwargs)
     return result, registry.as_dict()
 
 
-def _crashing_worker(name: str, kwargs: Dict):  # pragma: no cover - subprocess
+def _crashing_worker(name: str, kwargs: Dict,
+                     span_ctx=None):  # pragma: no cover - subprocess
     """Fault-injection worker for the crash-fallback tests: dies hard,
     taking its pool with it (the serial fallback never runs it)."""
     os._exit(13)
+
+
+def span_context(registry: Optional[MetricsRegistry]) -> Optional[Dict]:
+    """The picklable span context workers should record under, or None
+    when the driver is not tracing."""
+    if registry is None or registry.span_tracker is None:
+        return None
+    return registry.span_tracker.context()
 
 
 def run_experiments(
@@ -93,7 +111,7 @@ def run_experiments(
     common_kwargs: Optional[Dict] = None,
     registry: Optional[MetricsRegistry] = None,
     on_progress: Optional[Callable[[int, Optional[int]], None]] = None,
-    pool_worker: Callable[[str, Dict], Tuple[ExperimentResult, Dict]] = _run_one,
+    pool_worker: Callable[..., Tuple[ExperimentResult, Dict]] = _run_one,
 ) -> Dict[str, ExperimentResult]:
     """Run experiments from the registry, fanned out across processes.
 
@@ -127,6 +145,7 @@ def run_experiments(
     if max_workers is None:
         max_workers = default_workers()
     total = len(names)
+    span_ctx = span_context(registry)
 
     if max_workers > 1 and total > 1:
         results: Dict[str, ExperimentResult] = {}
@@ -134,7 +153,8 @@ def run_experiments(
         try:
             with ProcessPoolExecutor(
                     max_workers=min(max_workers, total)) as pool:
-                futures = {name: pool.submit(pool_worker, name, kw(name))
+                futures = {name: pool.submit(pool_worker, name, kw(name),
+                                             span_ctx)
                            for name in names}
                 done = 0
                 for name in names:
@@ -159,7 +179,7 @@ def run_experiments(
     snapshots = []
     done = 0
     for name in names:
-        result, snapshot = _run_one(name, kw(name))
+        result, snapshot = _run_one(name, kw(name), span_ctx)
         results[name] = result
         snapshots.append(snapshot)
         done += 1

@@ -26,6 +26,12 @@ from .metrics import (
     Series,
 )
 from .progress import ProgressPrinter
+from .spans import (
+    Span,
+    SpanTracker,
+    chrome_trace_events,
+    write_chrome_trace,
+)
 
 __all__ = [
     "Counter",
@@ -35,6 +41,10 @@ __all__ = [
     "PhaseTiming",
     "MetricsRegistry",
     "EventRecorder",
+    "Span",
+    "SpanTracker",
+    "chrome_trace_events",
+    "write_chrome_trace",
     "RunManifest",
     "git_revision",
     "ProgressPrinter",

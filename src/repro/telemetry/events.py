@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import json
 import random
+import time
 from typing import Any, Dict, Iterator, List, Optional
 
 
@@ -28,10 +29,16 @@ class EventRecorder:
             1.0 keeps everything (no RNG draw on the hot path); 0.0 keeps
             nothing but still counts offers.
         seed: seed for the private RNG, making sampling reproducible.
+        epoch_ns: wall-clock anchor (``time.time_ns()`` units).  When set,
+            every pushed event is stamped with ``ts_us`` microseconds
+            since the anchor — the same epoch the run manifest records
+            and span exports align to — so sampled events from separate
+            worker processes sort onto one timeline.  ``None`` (the
+            default) leaves events unstamped and byte-reproducible.
     """
 
     def __init__(self, capacity: int = 65536, sample_rate: float = 1.0,
-                 seed: int = 0):
+                 seed: int = 0, epoch_ns: Optional[int] = None):
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         if not 0.0 <= sample_rate <= 1.0:
@@ -39,6 +46,7 @@ class EventRecorder:
         self.capacity = capacity
         self.sample_rate = sample_rate
         self.seed = seed
+        self.epoch_ns = epoch_ns
         self._rng = random.Random(seed)
         self._buf: List[Dict[str, Any]] = []
         self._next = 0          # ring write position once the buffer is full
@@ -63,6 +71,8 @@ class EventRecorder:
 
     def push(self, event: Dict[str, Any]) -> None:
         """Store one already-sampled event in the ring."""
+        if self.epoch_ns is not None and "ts_us" not in event:
+            event["ts_us"] = (time.time_ns() - self.epoch_ns) // 1000
         self.recorded += 1
         if len(self._buf) < self.capacity:
             self._buf.append(event)

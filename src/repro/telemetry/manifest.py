@@ -49,6 +49,11 @@ class RunManifest:
         self.command = command
         self.args = dict(args or {})
         self.started_at = time.time()
+        #: Wall-clock anchor (ns since the Unix epoch) every span and
+        #: event timestamp of this run is aligned to — recorded here so
+        #: traces exported by separate worker processes land on one
+        #: Perfetto timeline.
+        self.clock_epoch_ns = time.time_ns()
         self.finished_at: Optional[float] = None
         self.git_sha = git_revision()
         self.extra: Dict[str, Any] = {}
@@ -88,6 +93,7 @@ class RunManifest:
             "started_at": _isoformat(self.started_at),
             "finished_at": _isoformat(self.finished_at),
             "duration_s": self.finished_at - self.started_at,
+            "clock_epoch_ns": self.clock_epoch_ns,
         }
         if registry is not None:
             metrics = registry.as_dict()

@@ -17,6 +17,8 @@ from __future__ import annotations
 import time
 from typing import Any, Callable, Dict, List, Optional
 
+from .spans import SpanTracker
+
 
 class Counter:
     """A monotonically increasing integer metric."""
@@ -121,19 +123,24 @@ class _TimerSpan:
     the phase report a throughput (items/second).
     """
 
-    __slots__ = ("_registry", "_name", "_qualified", "_start", "items")
+    __slots__ = ("_registry", "_name", "_qualified", "_start", "_span",
+                 "items")
 
     def __init__(self, registry: "MetricsRegistry", name: str):
         self._registry = registry
         self._name = name
         self._qualified = ""
         self._start = 0.0
+        self._span = None
         self.items = 0
 
     def __enter__(self) -> "_TimerSpan":
         stack = self._registry._timer_stack
         self._qualified = "/".join(stack + [self._name]) if stack else self._name
         stack.append(self._name)
+        tracker = self._registry.span_tracker
+        if tracker is not None:
+            self._span = tracker.begin(self._name)
         self._start = time.perf_counter()
         return self
 
@@ -144,6 +151,11 @@ class _TimerSpan:
         phase.wall_s += elapsed
         phase.calls += 1
         phase.items += self.items
+        if self._span is not None:
+            if self.items:
+                self._span.args = {"items": self.items}
+            self._registry.span_tracker.end(self._span)
+            self._registry.counter("span.recorded").inc()
 
 
 class MetricsRegistry:
@@ -162,6 +174,10 @@ class MetricsRegistry:
         self.histograms: Dict[str, Histogram] = {}
         self.series: Dict[str, Series] = {}
         self.phases: Dict[str, PhaseTiming] = {}
+        #: When set (see :meth:`enable_spans`), every ``timer(...)`` block
+        #: also records a hierarchical span; ``None`` keeps the timer hot
+        #: path span-free (one attribute test per enter/exit).
+        self.span_tracker: Optional[SpanTracker] = None
         self._collectors: List[Callable[["MetricsRegistry"], None]] = []
         self._timer_stack: List[str] = []
 
@@ -212,6 +228,22 @@ class MetricsRegistry:
         """
         return _TimerSpan(self, name)
 
+    # -- spans ------------------------------------------------------------
+    def enable_spans(self, tracker: Optional[SpanTracker] = None,
+                     context: Optional[Dict[str, Any]] = None) -> SpanTracker:
+        """Attach a span tracker so phase timers also record spans.
+
+        *tracker* wins when given; otherwise one is built from *context*
+        (a driver's shipped :meth:`SpanTracker.context`) or fresh.  The
+        tracker's trace id is exported as the ``span.trace_id`` gauge so
+        manifests and trace files correlate.
+        """
+        if tracker is None:
+            tracker = SpanTracker.from_context(context)
+        self.span_tracker = tracker
+        self.gauge("span.trace_id").set(tracker.trace_id)
+        return tracker
+
     # -- merging ---------------------------------------------------------
     def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
         """Fold another registry's contents into this one (and return self).
@@ -239,6 +271,11 @@ class MetricsRegistry:
             mine.wall_s += phase.wall_s
             mine.calls += phase.calls
             mine.items += phase.items
+        if other.span_tracker is not None and other.span_tracker.spans:
+            if self.span_tracker is None:
+                self.enable_spans(
+                    SpanTracker(trace_id=other.span_tracker.trace_id))
+            self.span_tracker.merge(other.span_tracker)
         return self
 
     def merge_dict(self, data: Dict[str, Any]) -> "MetricsRegistry":
@@ -259,7 +296,7 @@ class MetricsRegistry:
     def as_dict(self) -> Dict[str, Any]:
         """JSON-ready snapshot of everything in the registry."""
         self.collect()
-        return {
+        doc = {
             "counters": {n: c.value for n, c in sorted(self.counters.items())},
             "gauges": {n: g.value for n, g in sorted(self.gauges.items())},
             "histograms": {
@@ -282,6 +319,9 @@ class MetricsRegistry:
                 for n, p in sorted(self.phases.items())
             },
         }
+        if self.span_tracker is not None:
+            doc["spans"] = self.span_tracker.as_dict()
+        return doc
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "MetricsRegistry":
@@ -316,4 +356,9 @@ class MetricsRegistry:
             phase.wall_s = spec.get("wall_s", 0.0)
             phase.calls = spec.get("calls", 0)
             phase.items = spec.get("items", 0)
+        spans = data.get("spans")
+        if spans:
+            tracker = SpanTracker(trace_id=spans.get("trace_id"))
+            tracker.merge_dict(spans)
+            registry.span_tracker = tracker
         return registry

@@ -1,0 +1,188 @@
+"""Bench-history store and regression gate.
+
+The gate's contract (the acceptance criterion of the observability PR):
+two clean back-to-back sessions pass, a 2x-slower injected session exits
+nonzero, and an empty or single-record history passes vacuously so a
+fresh checkout never fails CI on its first run.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.history import (
+    CheckResult,
+    append_record,
+    check_history,
+    flatten_record,
+    load_history,
+    make_record,
+    metric_direction,
+    render_history,
+)
+from repro.cli import main
+
+
+def record(wall=10.0, speedup=4.0, sha="abc123", stamp="2026-08-01T00:00:00Z",
+           extra_metrics=None):
+    metrics = {"kernels": {"gdiff_kernel_speedup_x": speedup}}
+    if extra_metrics:
+        metrics.update(extra_metrics)
+    return make_record(
+        benches={"benchmarks/bench_a.py::bench_a": wall},
+        metrics=metrics, git_sha=sha, generated_at=stamp)
+
+
+class TestStore:
+    def test_append_and_load_round_trip(self, tmp_path):
+        path = tmp_path / "nested" / "history.jsonl"
+        append_record(record(wall=1.0), path)
+        append_record(record(wall=2.0), path)
+        records = load_history(path)
+        assert [r["total_wall_s"] for r in records] == [1.0, 2.0]
+        assert records[0]["git_sha"] == "abc123"
+        assert records[0]["generated_at"] == "2026-08-01T00:00:00Z"
+
+    def test_damaged_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        append_record(record(wall=1.0), path)
+        with open(path, "a") as fh:
+            fh.write("{torn line\n")
+            fh.write(json.dumps({"not": "a record"}) + "\n")
+        append_record(record(wall=2.0), path)
+        assert [r["total_wall_s"] for r in load_history(path)] == [1.0, 2.0]
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert load_history(tmp_path / "nope.jsonl") == []
+
+
+class TestDirections:
+    @pytest.mark.parametrize("name,direction", [
+        ("total_wall_s", "higher-bad"),
+        ("bench:benchmarks/bench_a.py::bench_a", "higher-bad"),
+        ("metric:fastpath.cold_run_s", "higher-bad"),
+        ("metric:fastpath.warm_ms", "higher-bad"),
+        ("metric:kernels.gdiff_kernel_speedup", "lower-bad"),
+        ("metric:kernels.fig8_speedup_x", "lower-bad"),
+        ("metric:fig8.average_accuracy", "info"),
+    ])
+    def test_inferred_from_name(self, name, direction):
+        assert metric_direction(name) == direction
+
+    def test_flatten_names_every_scalar(self):
+        flat = flatten_record(record(wall=3.0, speedup=5.0))
+        assert flat == {
+            "total_wall_s": 3.0,
+            "bench:benchmarks/bench_a.py::bench_a": 3.0,
+            "metric:kernels.gdiff_kernel_speedup_x": 5.0,
+        }
+
+    def test_flatten_tolerates_conftest_bench_shape(self):
+        flat = flatten_record({"benches": {"n": {"duration_s": 1.5,
+                                                 "outcome": "passed"}}})
+        assert flat["bench:n"] == 1.5
+
+
+class TestGate:
+    def test_two_clean_runs_pass(self):
+        ok, results = check_history([record(wall=10.0), record(wall=10.4)])
+        assert ok
+        assert all(r.ok for r in results)
+
+    def test_2x_regression_fails(self):
+        records = [record(wall=10.0), record(wall=10.2),
+                   record(wall=20.4)]
+        ok, results = check_history(records)
+        assert not ok
+        failed = {r.metric for r in results if not r.ok}
+        assert "total_wall_s" in failed
+        assert "bench:benchmarks/bench_a.py::bench_a" in failed
+
+    def test_halved_speedup_fails(self):
+        ok, results = check_history([record(speedup=4.0),
+                                     record(speedup=1.9)])
+        assert not ok
+        (fail,) = [r for r in results if not r.ok]
+        assert fail.metric == "metric:kernels.gdiff_kernel_speedup_x"
+        assert fail.direction == "lower-bad"
+
+    def test_info_metrics_never_gate(self):
+        records = [
+            record(extra_metrics={"fig8": {"average_accuracy": 0.9}}),
+            record(extra_metrics={"fig8": {"average_accuracy": 0.1}}),
+        ]
+        ok, results = check_history(records)
+        assert ok
+        info = [r for r in results
+                if r.metric == "metric:fig8.average_accuracy"]
+        assert info and info[0].ok and info[0].direction == "info"
+
+    def test_vacuous_passes(self):
+        assert check_history([]) == (True, [])
+        assert check_history([record()]) == (True, [])
+        # A metric new in the latest record does not gate itself.
+        ok, results = check_history(
+            [record(), record(extra_metrics={"new": {"fresh_s": 99.0}})])
+        assert ok
+        assert "metric:new.fresh_s" not in {r.metric for r in results}
+
+    def test_baseline_is_median_of_last_n(self):
+        # One slow outlier in the window must not drag the baseline up.
+        records = [record(wall=10.0), record(wall=100.0),
+                   record(wall=10.0), record(wall=16.0)]
+        ok, results = check_history(records, last_n=3)
+        total = next(r for r in results if r.metric == "total_wall_s")
+        assert total.baseline == 10.0
+        assert total.samples == 3
+        assert ok  # 16.0 <= 10.0 * 1.75
+
+    def test_render_mentions_failures(self):
+        result = CheckResult(metric="total_wall_s", direction="higher-bad",
+                             baseline=10.0, latest=21.0, limit=17.5,
+                             samples=3, ok=False)
+        assert "FAIL" in result.render()
+        assert "2.10x" in result.render()
+
+
+class TestCli:
+    def _history(self, tmp_path, walls):
+        path = tmp_path / "history.jsonl"
+        for wall in walls:
+            append_record(record(wall=wall), path)
+        return str(path)
+
+    def test_check_passes_clean_history(self, tmp_path, capsys):
+        path = self._history(tmp_path, [10.0, 10.3])
+        assert main(["bench", "check", "--file", path]) == 0
+        assert "0 regressed" in capsys.readouterr().out
+
+    def test_check_gates_2x_regression(self, tmp_path, capsys):
+        path = self._history(tmp_path, [10.0, 10.3, 20.6])
+        assert main(["bench", "check", "--file", path]) == 2
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_check_vacuous_without_baseline(self, tmp_path, capsys):
+        path = self._history(tmp_path, [10.0])
+        assert main(["bench", "check", "--file", path]) == 0
+        assert "vacuously" in capsys.readouterr().out
+
+    def test_check_tolerances_are_flags(self, tmp_path):
+        path = self._history(tmp_path, [10.0, 10.1, 13.0])
+        assert main(["bench", "check", "--file", path]) == 0
+        assert main(["bench", "check", "--file", path,
+                     "--slow-tol", "1.2"]) == 2
+
+    def test_history_lists_records(self, tmp_path, capsys):
+        path = self._history(tmp_path, [10.0, 11.0])
+        assert main(["bench", "history", "--file", path]) == 0
+        out = capsys.readouterr().out
+        assert "2 record(s)" in out
+        assert "abc123" in out
+
+    def test_check_writes_manifest(self, tmp_path):
+        path = self._history(tmp_path, [10.0, 10.3])
+        out = tmp_path / "manifest.json"
+        assert main(["bench", "check", "--file", path,
+                     "--metrics-out", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["bench_check"]["ok"] is True

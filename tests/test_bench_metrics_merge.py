@@ -26,6 +26,7 @@ def bench_conftest(tmp_path, monkeypatch):
     module = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(module)
     monkeypatch.setattr(module, "METRICS_PATH", tmp_path / "metrics.json")
+    monkeypatch.setattr(module, "HISTORY_PATH", tmp_path / "history.jsonl")
     return module
 
 

@@ -1,0 +1,243 @@
+"""Hierarchical span tracing: nesting, cross-process merge, trace export.
+
+The properties that matter:
+
+* spans recorded through the existing ``registry.timer(...)`` API form a
+  correctly-parented tree, with wall/CPU time and the items count;
+* a parallel ``run_experiments`` produces the *same span tree shape* as a
+  serial run — same names, same driver-side parentage — with worker spans
+  carrying worker pids (the whole point of shipping span context);
+* the Chrome trace-event export validates against the schema Perfetto
+  expects: complete ``"X"`` events with name/ph/ts/dur/pid/tid, one
+  ``process_name`` metadata event per pid, timestamps on one timeline.
+"""
+
+import json
+
+import pytest
+
+from repro.harness.parallel import run_experiments, span_context
+from repro.telemetry import (
+    MetricsRegistry,
+    Span,
+    SpanTracker,
+    chrome_trace_events,
+    write_chrome_trace,
+)
+
+NAMES = ["fig8", "fig10"]
+COMMON = {"length": 4000, "benchmarks": ["gcc"]}
+
+
+class TestTrackerBasics:
+    def test_nesting_assigns_parents(self):
+        tracker = SpanTracker()
+        with tracker.span("outer") as outer:
+            with tracker.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+            with tracker.span("sibling") as sibling:
+                assert sibling.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert [s.name for s in tracker.spans] == [
+            "inner", "sibling", "outer"]
+
+    def test_span_ids_unique_within_and_across_trackers(self):
+        a, b = SpanTracker(), SpanTracker()
+        for tracker in (a, b):
+            for _ in range(5):
+                tracker.end(tracker.begin("x"))
+        ids = [s.span_id for s in a.spans + b.spans]
+        assert len(ids) == len(set(ids))
+
+    def test_end_closes_orphaned_children(self):
+        tracker = SpanTracker()
+        outer = tracker.begin("outer")
+        tracker.begin("leaked")
+        tracker.end(outer)
+        assert tracker.current_id() is None
+
+    def test_context_round_trip(self):
+        driver = SpanTracker()
+        root = driver.begin("root")
+        worker = SpanTracker.from_context(driver.context())
+        assert worker.trace_id == driver.trace_id
+        span = worker.begin("work")
+        assert span.parent_id == root.span_id
+
+    def test_dict_round_trip_preserves_timing(self):
+        tracker = SpanTracker()
+        with tracker.span("timed") as span:
+            span.args = {"items": 42}
+        clone = Span.from_dict(tracker.spans[0].as_dict())
+        assert clone.name == "timed"
+        assert clone.span_id == span.span_id
+        assert clone.dur_ns == span.dur_ns
+        assert clone.cpu_ns == span.cpu_ns
+        assert clone.args == {"items": 42}
+
+
+class TestRegistryIntegration:
+    def test_timers_record_spans_when_enabled(self):
+        registry = MetricsRegistry()
+        registry.enable_spans()
+        with registry.timer("outer"):
+            with registry.timer("inner") as t:
+                t.items = 7
+        spans = {s.name: s for s in registry.span_tracker.spans}
+        assert spans["inner"].parent_id == spans["outer"].span_id
+        assert spans["inner"].args == {"items": 7}
+        assert registry.counters["span.recorded"].value == 2
+        assert registry.gauges["span.trace_id"].value == \
+            registry.span_tracker.trace_id
+
+    def test_timers_without_tracker_record_no_spans(self):
+        registry = MetricsRegistry()
+        with registry.timer("outer"):
+            pass
+        assert registry.span_tracker is None
+        assert "span.recorded" not in registry.counters
+        assert "spans" not in registry.as_dict()
+
+    def test_snapshot_merge_reparents_nothing(self):
+        """A worker snapshot's spans fold in verbatim: same ids, same
+        parents, trace id adopted by a tracker-less driver."""
+        driver = MetricsRegistry()
+        worker = MetricsRegistry()
+        worker.enable_spans(context={"trace_id": "feedc0dedeadbeef",
+                                     "parent_id": "root.1"})
+        with worker.timer("cell"):
+            pass
+        driver.merge_dict(worker.as_dict())
+        assert driver.span_tracker.trace_id == "feedc0dedeadbeef"
+        (span,) = driver.span_tracker.spans
+        assert span.name == "cell"
+        assert span.parent_id == "root.1"
+
+    def test_registry_dict_round_trip_keeps_spans(self):
+        registry = MetricsRegistry()
+        registry.enable_spans()
+        with registry.timer("phase"):
+            pass
+        rebuilt = MetricsRegistry.from_dict(
+            json.loads(json.dumps(registry.as_dict())))
+        assert [s.as_dict() for s in rebuilt.span_tracker.spans] == \
+            [s.as_dict() for s in registry.span_tracker.spans]
+
+
+def _span_tree(registry, root_id):
+    """The comparable shape of a recorded forest: name -> parent name
+    (driver-side root spans map to the literal marker "<root>")."""
+    by_id = {s.span_id: s for s in registry.span_tracker.spans}
+    shape = set()
+    for span in registry.span_tracker.spans:
+        if span.parent_id in by_id:
+            parent = by_id[span.parent_id].name
+        elif span.parent_id == root_id:
+            parent = "<root>"
+        else:
+            parent = None
+        shape.add((span.name, parent))
+    return shape
+
+
+class TestCrossProcess:
+    def _run(self, max_workers):
+        registry = MetricsRegistry()
+        tracker = registry.enable_spans()
+        root = tracker.begin("run")
+        run_experiments(NAMES, max_workers=max_workers,
+                        common_kwargs=COMMON, registry=registry)
+        tracker.end(root)
+        return registry, root
+
+    def test_parallel_tree_matches_serial(self):
+        serial, s_root = self._run(max_workers=1)
+        parallel, p_root = self._run(max_workers=2)
+        assert _span_tree(serial, s_root.span_id) == \
+            _span_tree(parallel, p_root.span_id)
+        # Same spans recorded either way, root included.
+        assert sorted(s.name for s in serial.span_tracker.spans) == \
+            sorted(s.name for s in parallel.span_tracker.spans)
+
+    def test_worker_spans_carry_worker_pids(self):
+        import os
+
+        parallel, _root = self._run(max_workers=2)
+        pids = {s.pid for s in parallel.span_tracker.spans
+                if s.name.startswith("experiment.")}
+        assert os.getpid() not in pids
+        assert len(pids) == 2  # one worker process per experiment
+
+    def test_experiment_spans_nest_under_driver_root(self):
+        parallel, root = self._run(max_workers=2)
+        for span in parallel.span_tracker.spans:
+            if span.name.startswith("experiment."):
+                assert span.parent_id == root.span_id
+
+    def test_span_context_helper(self):
+        assert span_context(None) is None
+        assert span_context(MetricsRegistry()) is None
+        registry = MetricsRegistry()
+        tracker = registry.enable_spans()
+        ctx = span_context(registry)
+        assert ctx == {"trace_id": tracker.trace_id, "parent_id": None}
+
+
+class TestChromeExport:
+    @pytest.fixture
+    def recorded(self):
+        registry = MetricsRegistry()
+        tracker = registry.enable_spans()
+        root = tracker.begin("run")
+        with registry.timer("phase_a"):
+            with registry.timer("phase_b"):
+                pass
+        tracker.end(root)
+        return tracker
+
+    def test_events_follow_trace_event_schema(self, recorded):
+        doc = chrome_trace_events(recorded.spans,
+                                  trace_id=recorded.trace_id)
+        assert set(doc) == {"traceEvents", "displayTimeUnit", "metadata"}
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert len(complete) == 3
+        for event in complete:
+            assert set(event) >= {"name", "ph", "ts", "dur", "pid", "tid"}
+            assert isinstance(event["ts"], float) and event["ts"] >= 0
+            assert isinstance(event["dur"], float) and event["dur"] >= 0
+        assert [e["name"] for e in meta] == ["process_name"]
+        assert doc["metadata"]["trace_id"] == recorded.trace_id
+
+    def test_timestamps_relative_to_epoch(self, recorded):
+        epoch = min(s.start_ns for s in recorded.spans)
+        doc = chrome_trace_events(recorded.spans, epoch_ns=epoch)
+        by_name = {e["name"]: e for e in doc["traceEvents"]
+                   if e["ph"] == "X"}
+        assert min(e["ts"] for e in by_name.values()) == 0.0
+        # Nesting holds on the exported timeline: children start at or
+        # after their parent and end at or before it.
+        run, a, b = by_name["run"], by_name["phase_a"], by_name["phase_b"]
+        for parent, child in ((run, a), (a, b)):
+            assert child["ts"] >= parent["ts"]
+            assert child["ts"] + child["dur"] <= \
+                parent["ts"] + parent["dur"] + 1e-3
+
+    def test_per_pid_process_metadata(self):
+        spans = []
+        for pid in (111, 222):
+            tracker = SpanTracker(pid=pid)
+            tracker.end(tracker.begin("w"))
+            spans.extend(tracker.spans)
+        doc = chrome_trace_events(spans, driver_pid=111)
+        meta = {e["pid"]: e["args"]["name"]
+                for e in doc["traceEvents"] if e["ph"] == "M"}
+        assert meta == {111: "driver (pid 111)", 222: "worker (pid 222)"}
+
+    def test_write_chrome_trace_file_is_valid_json(self, recorded, tmp_path):
+        path = tmp_path / "trace.json"
+        count = write_chrome_trace(str(path), recorded.spans,
+                                   trace_id=recorded.trace_id)
+        assert count == 3
+        doc = json.loads(path.read_text())
+        assert len(doc["traceEvents"]) == 4  # 3 X + 1 M
