@@ -377,20 +377,22 @@ def table2(length: int = PIPELINE_LENGTH,
 # Figure 19 — value-speculation speedups
 # ---------------------------------------------------------------------------
 def fig19(length: int = PIPELINE_LENGTH,
-          benchmarks: Optional[List[str]] = None) -> ExperimentResult:
+          benchmarks: Optional[List[str]] = None,
+          order: int = 32) -> ExperimentResult:
     """Speedup from breaking data dependencies with each predictor.
 
     Paper: gDiff(HGVQ) 19.2% average speedup (53% on mcf) vs local stride
     ~15%; local context trails on its low coverage.  The machine issues
     dependents on confident predictions and selectively reissues on
-    misprediction.
+    misprediction.  ``order`` sets the hybrid queue size so campaigns can
+    sweep it; the local predictors are queue-free and unaffected.
     """
     adapters: Dict[str, Callable[[], Optional[PipelinePredictor]]] = {
         "local_stride": lambda: LocalPredictorAdapter(
             StridePredictor(entries=8192)),
         "local_context": lambda: LocalPredictorAdapter(
             DFCMPredictor(order=4, l1_entries=8192)),
-        "gdiff_hgvq": lambda: HGVQAdapter(order=32, entries=8192),
+        "gdiff_hgvq": lambda: HGVQAdapter(order=order, entries=8192),
     }
     result = ExperimentResult(
         name="fig19",

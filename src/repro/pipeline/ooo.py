@@ -38,6 +38,25 @@ _WAITING = 0
 _EXECUTING = 1
 _DONE = 2
 
+# Stall-reason names in publication order; the per-cycle accounting
+# indexes a preallocated list by position instead of hashing the name.
+_STALL_REASONS = (
+    "retire_empty_window",
+    "retire_head_executing",
+    "retire_head_waiting",
+    "issue_dependencies",
+    "issue_dcache_ports",
+    "dispatch_rob_full",
+    "dispatch_fetch_starved",
+    "fetch_branch_resolve",
+    "fetch_redirect_or_icache",
+    "fetch_queue_full",
+)
+(_RETIRE_EMPTY, _RETIRE_EXECUTING, _RETIRE_WAITING,
+ _ISSUE_DEPS, _ISSUE_PORTS,
+ _DISPATCH_ROB_FULL, _DISPATCH_STARVED,
+ _FETCH_BRANCH, _FETCH_REDIRECT, _FETCH_QUEUE_FULL) = range(10)
+
 
 class _Entry:
     """One reorder-buffer entry."""
@@ -125,8 +144,16 @@ class OutOfOrderCore:
             attached the run publishes per-cycle ROB occupancy, stall-reason
             counters, flush/reissue counts, and the value-delay histogram
             under the ``ooo.*`` namespace (see docs/TELEMETRY.md).  The
-            per-cycle accounting uses plain local dicts merged once at the
-            end, so a detached core pays a single branch per cycle.
+            per-cycle accounting indexes preallocated occupancy/stall
+            lists merged once at the end, so a detached core pays a
+            single branch per cycle and an attached one pays O(1) list
+            bumps instead of dict lookups.
+
+    Packed traces run through the fused SoA kernel in
+    :mod:`repro.pipeline.kernels` when it models the configuration
+    (bit-identical results, same end state); ``REPRO_KERNELS=0`` or any
+    unmodelled shape falls back to this object loop, which remains the
+    reference semantics.
     """
 
     def __init__(
@@ -161,13 +188,21 @@ class OutOfOrderCore:
                 the end); *total* is taken from ``len(trace)`` when the
                 trace supports it.
         """
+        from .kernels import run_fast  # deferred: kernels imports this module
+        fast = run_fast(self, trace, max_cycles, on_progress, total,
+                        progress_every)
+        if fast is not None:
+            return fast
+
         cfg = self.config
         result = SimResult()
         if total is None and hasattr(trace, "__len__"):
             total = len(trace)
         track = self.metrics is not None
-        occupancy: Dict[int, int] = {}
-        stalls: Dict[str, int] = {}
+        # len(rob) never exceeds rob_entries (dispatch guard), so the
+        # occupancy histogram is a dense list; stalls index by reason.
+        occupancy: List[int] = [0] * (cfg.rob_entries + 1)
+        stalls: List[int] = [0] * len(_STALL_REASONS)
         reissue_events = 0
         next_progress = progress_every
         stream = iter(trace)
@@ -198,8 +233,7 @@ class OutOfOrderCore:
                 break
 
             if track:
-                occ = len(rob)
-                occupancy[occ] = occupancy.get(occ, 0) + 1
+                occupancy[len(rob)] += 1
 
             # ---- Retire (in order) -------------------------------------
             retired_this_cycle = 0
@@ -216,12 +250,11 @@ class OutOfOrderCore:
                 retired_this_cycle += 1
             if track and retired_this_cycle == 0:
                 if not rob:
-                    reason = "retire_empty_window"
+                    stalls[_RETIRE_EMPTY] += 1
                 elif rob[0].state == _EXECUTING:
-                    reason = "retire_head_executing"
+                    stalls[_RETIRE_EXECUTING] += 1
                 else:
-                    reason = "retire_head_waiting"
-                stalls[reason] = stalls.get(reason, 0) + 1
+                    stalls[_RETIRE_WAITING] += 1
             if on_progress is not None and result.retired >= next_progress:
                 next_progress = result.retired + progress_every
                 on_progress(result.retired, total)
@@ -266,6 +299,7 @@ class OutOfOrderCore:
             fu_free = cfg.function_units
             ports_free = cfg.dcache_ports
             issued = 0
+            dep_blocked = port_blocked = False
             if rob:
                 for entry in rob:
                     if issued >= cfg.width or fu_free == 0:
@@ -273,9 +307,11 @@ class OutOfOrderCore:
                     if entry.state != _WAITING:
                         continue
                     if not self._ready(entry):
+                        dep_blocked = True
                         continue
                     insn = entry.insn
                     if insn.is_mem and ports_free == 0:
+                        port_blocked = True
                         continue
                     entry.state = _EXECUTING
                     entry.remaining = self._latency(insn, result)
@@ -285,24 +321,24 @@ class OutOfOrderCore:
                     if insn.is_mem:
                         ports_free -= 1
             if track and issued == 0 and rob:
-                # Classify the zero-issue cycle after the fact so the issue
-                # loop itself carries no accounting: a waiting entry with an
-                # unresolved producer means a dependency stall; waiting
-                # entries that are all ready can only have been held back by
-                # structural limits (dcache ports, in practice).
-                saw_waiting = dep_blocked = False
-                for entry in rob:
-                    if entry.state == _WAITING:
-                        saw_waiting = True
-                        if not self._ready(entry):
-                            dep_blocked = True
-                            break
+                # With nothing issued (and a sane width/FU budget, so the
+                # scan above saw every entry), each waiting entry either
+                # had an unresolved producer or was a ready memory op held
+                # back by the dcache ports — the flags folded into the
+                # scan classify the cycle without a second walk.
+                if cfg.width < 1 or cfg.function_units < 1:
+                    # Degenerate budget: the scan broke out before
+                    # classifying anything, so walk once here.
+                    for entry in rob:
+                        if entry.state == _WAITING:
+                            port_blocked = True
+                            if not self._ready(entry):
+                                dep_blocked = True
+                                break
                 if dep_blocked:
-                    stalls["issue_dependencies"] = \
-                        stalls.get("issue_dependencies", 0) + 1
-                elif saw_waiting:
-                    stalls["issue_dcache_ports"] = \
-                        stalls.get("issue_dcache_ports", 0) + 1
+                    stalls[_ISSUE_DEPS] += 1
+                elif port_blocked:
+                    stalls[_ISSUE_PORTS] += 1
 
             # ---- Dispatch -----------------------------------------------
             dispatched = 0
@@ -332,23 +368,18 @@ class OutOfOrderCore:
                 dispatched += 1
             if track and dispatched == 0:
                 if fetch_queue:
-                    stalls["dispatch_rob_full"] = \
-                        stalls.get("dispatch_rob_full", 0) + 1
+                    stalls[_DISPATCH_ROB_FULL] += 1
                 elif not exhausted:
-                    stalls["dispatch_fetch_starved"] = \
-                        stalls.get("dispatch_fetch_starved", 0) + 1
+                    stalls[_DISPATCH_STARVED] += 1
 
             # ---- Fetch --------------------------------------------------
             if track and not exhausted:
                 if stalled_branch is not None or pending_mispredict is not None:
-                    stalls["fetch_branch_resolve"] = \
-                        stalls.get("fetch_branch_resolve", 0) + 1
+                    stalls[_FETCH_BRANCH] += 1
                 elif cycle < fetch_free_at:
-                    stalls["fetch_redirect_or_icache"] = \
-                        stalls.get("fetch_redirect_or_icache", 0) + 1
+                    stalls[_FETCH_REDIRECT] += 1
                 elif len(fetch_queue) >= fetch_queue_cap:
-                    stalls["fetch_queue_full"] = \
-                        stalls.get("fetch_queue_full", 0) + 1
+                    stalls[_FETCH_QUEUE_FULL] += 1
             if (not exhausted and stalled_branch is None
                     and pending_mispredict is None
                     and cycle >= fetch_free_at
@@ -396,15 +427,17 @@ class OutOfOrderCore:
             self._publish(result, occupancy, stalls, reissue_events)
         return result
 
-    def _publish(self, result: SimResult, occupancy: Dict[int, int],
-                 stalls: Dict[str, int], reissue_events: int) -> None:
+    def _publish(self, result: SimResult, occupancy: List[int],
+                 stalls: List[int], reissue_events: int) -> None:
         """Merge the run's local accounting into the attached registry."""
         m = self.metrics
-        m.histogram("ooo.rob_occupancy").merge_counts(occupancy)
+        m.histogram("ooo.rob_occupancy").merge_counts(
+            {occ: n for occ, n in enumerate(occupancy) if n})
         m.histogram("ooo.value_delay").merge_counts(
             result.value_delay_histogram)
-        for reason, count in stalls.items():
-            m.counter(f"ooo.stall.{reason}").inc(count)
+        for reason, count in zip(_STALL_REASONS, stalls):
+            if count:
+                m.counter(f"ooo.stall.{reason}").inc(count)
         m.counter("ooo.cycles").inc(result.cycles)
         m.counter("ooo.retired").inc(result.retired)
         m.counter("ooo.retired_value_producing").inc(result.retired_vp)

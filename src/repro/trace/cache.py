@@ -359,13 +359,36 @@ def default_cache(metrics=None) -> TraceCache:
     return TraceCache(metrics=metrics)
 
 
+#: In-process memo over the disk cache: repeated experiment calls (bench
+#: rounds, campaign sweeps) get the *same* ``PackedTrace`` object back,
+#: so per-trace derived state keyed by object identity — the pipeline
+#: kernel's dataflow/fetch/timing auxiliaries — survives across calls
+#: instead of being rebuilt from a fresh deserialisation each time.
+#: Traces are immutable once packed, so sharing is safe.  Small FIFO.
+_MEM_CACHE: Dict[tuple, PackedTrace] = {}
+_MEM_CAP = 12
+
+
 def cached_trace(workload: Union[str, WorkloadSpec], length: int,
                  seed: Optional[int] = None, code_copies: int = 1,
                  metrics=None):
     """The experiment harness entry point: packed-and-cached when the
     cache is enabled, plain in-memory generation otherwise."""
     if cache_enabled():
-        return default_cache(metrics=metrics).load_or_generate(
-            workload, length, seed=seed, code_copies=code_copies)
+        spec = _resolve(workload)
+        effective_seed = spec.seed if seed is None else seed
+        memo_key = (str(cache_root()), spec.name, length, effective_seed,
+                    code_copies)
+        if metrics is None:
+            hit = _MEM_CACHE.get(memo_key)
+            if hit is not None:
+                return hit
+        trace = default_cache(metrics=metrics).load_or_generate(
+            spec, length, seed=seed, code_copies=code_copies)
+        if isinstance(trace, PackedTrace):
+            if len(_MEM_CACHE) >= _MEM_CAP:
+                _MEM_CACHE.pop(next(iter(_MEM_CACHE)))
+            _MEM_CACHE[memo_key] = trace
+        return trace
     spec = _resolve(workload)
     return spec.trace(length, seed=seed, code_copies=code_copies)

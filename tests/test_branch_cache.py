@@ -1,0 +1,183 @@
+"""Edge cases for the pipeline's branch predictor and cache models.
+
+Targets the corners the full-pipeline tests never isolate: set-index
+alias wraparound and MRU eviction order in :class:`Cache`, gshare
+history wraparound and counter-alias training in :class:`GShare`,
+cold-start accounting (fresh tables, zero lookups), and a fully
+zero-latency :class:`ProcessorConfig` run end to end on both the object
+core and the kernel path.
+"""
+
+import os
+
+import pytest
+
+from repro.pipeline.branch import GShare
+from repro.pipeline.cache import Cache
+from repro.pipeline.config import CacheConfig, ProcessorConfig
+from repro.pipeline.ooo import OutOfOrderCore
+from repro.trace.cache import cached_trace
+
+
+def small_cache(ways=2, sets=4, line=16):
+    return Cache(CacheConfig(size_bytes=sets * ways * line, ways=ways,
+                             line_bytes=line, miss_penalty=10))
+
+
+# ---------------------------------------------------------------------------
+# Cache: alias wraparound and MRU order
+# ---------------------------------------------------------------------------
+class TestCacheAliasing:
+    def test_set_index_wraparound_aliases_collide(self):
+        """Addresses one set-stride apart land in the same set and evict
+        each other in a direct-mapped config."""
+        c = small_cache(ways=1, sets=4, line=16)
+        stride = 4 * 16  # sets * line_bytes: same index, different tag
+        assert not c.access(0x0)
+        assert not c.access(0x0 + stride)      # alias: evicts line 0
+        assert not c.access(0x0)               # line 0 is gone again
+        assert c.misses == 3 and c.accesses == 3
+
+    def test_offsets_within_line_share_residency(self):
+        c = small_cache()
+        assert not c.access(0x40)
+        # every byte of the 16-byte line hits, regardless of offset
+        assert all(c.access(0x40 + off) for off in range(1, 16))
+        assert c.misses == 1
+
+    def test_mru_eviction_order(self):
+        """A hit refreshes the line to MRU, so the untouched way is the
+        victim."""
+        c = small_cache(ways=2, sets=1, line=16)
+        a, b, d = 0x00, 0x10, 0x20
+        c.access(a)
+        c.access(b)       # set holds [b, a]
+        c.access(a)       # refresh: [a, b]
+        c.access(d)       # evicts b, keeps a
+        assert c.probe(a) and c.probe(d) and not c.probe(b)
+
+    def test_probe_does_not_disturb_lru_or_stats(self):
+        c = small_cache(ways=2, sets=1, line=16)
+        c.access(0x00)
+        c.access(0x10)    # [0x10, 0x00]
+        assert c.probe(0x00)
+        c.access(0x20)    # victim must still be 0x00 (probe is silent)
+        assert not c.probe(0x00)
+        assert c.accesses == 3 and c.misses == 3
+
+    def test_clear_resets_lines_and_stats(self):
+        c = small_cache()
+        c.access(0x0)
+        c.clear()
+        assert c.accesses == 0 and c.misses == 0 and not c.probe(0x0)
+        assert not c.access(0x0)  # cold again
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=100, ways=3, line_bytes=16,
+                        miss_penalty=1)
+
+
+# ---------------------------------------------------------------------------
+# GShare: cold start, history wraparound, counter aliasing
+# ---------------------------------------------------------------------------
+class TestGShare:
+    def test_cold_start_weakly_taken_and_zero_lookups(self):
+        bp = GShare(history_bits=4)
+        assert bp.accuracy == 0.0          # no division by zero
+        assert bp.predict(0x400)           # counters start at 2: taken
+        bp.record(False)                   # cold-start mispredict
+        assert (bp.lookups, bp.correct) == (1, 0)
+        assert bp.accuracy == 0.0
+        bp.record(True)
+        assert bp.accuracy == 0.5
+
+    def test_history_wraps_at_history_bits(self):
+        bp = GShare(history_bits=3)
+        for _ in range(10):                # far beyond 3 bits of history
+            bp.update(0x0, True)
+        assert bp._history == 0b111        # masked, not unbounded
+        bp.update(0x0, False)
+        assert bp._history == 0b110
+
+    def test_counter_saturation(self):
+        bp = GShare(history_bits=4)
+        pc = 0x40
+        for _ in range(8):
+            idx = bp._index(pc)
+            bp.update(pc, True)
+            assert bp._counters[idx] <= 3
+        for _ in range(8):
+            idx = bp._index(pc)
+            bp.update(pc, False)
+            assert bp._counters[idx] >= 0
+
+    def test_pc_alias_wraparound_trains_shared_counter(self):
+        """PCs one table-stride apart XOR-index the same counter, so
+        training one flips the other's prediction (with history pinned
+        at zero by not-taken updates)."""
+        bp = GShare(history_bits=2)
+        pc_a = 0x0
+        pc_b = bp.entries << 2             # (pc >> 2) wraps the mask
+        assert bp._index(pc_a) == bp._index(pc_b)
+        bp.update(pc_a, False)             # history stays 0
+        bp.update(pc_a, False)             # counter 2 -> 0
+        assert not bp.predict(pc_b)        # alias sees the training
+
+    def test_history_changes_index(self):
+        bp = GShare(history_bits=4)
+        pc = 0x40
+        before = bp._index(pc)
+        bp.update(0x0, True)               # shift a 1 into the history
+        assert bp._index(pc) != before
+
+    def test_invalid_history_bits_rejected(self):
+        with pytest.raises(ValueError):
+            GShare(history_bits=0)
+
+
+# ---------------------------------------------------------------------------
+# Zero-latency configuration through the full pipeline
+# ---------------------------------------------------------------------------
+def zero_latency_config():
+    return ProcessorConfig(
+        icache=CacheConfig(64 * 1024, 4, 64, 0),
+        dcache=CacheConfig(64 * 1024, 4, 64, 0),
+        ialu_latency=0,
+        agen_latency=0,
+        dcache_hit_latency=0,
+        branch_latency=0,
+        pipe_overhead=0,
+        redirect_penalty=0,
+    )
+
+
+class TestZeroLatencyConfig:
+    def test_load_latency_is_zero_either_way(self):
+        cfg = zero_latency_config()
+        assert cfg.load_latency(True) == 0
+        assert cfg.load_latency(False) == 0
+
+    def test_pipeline_runs_and_paths_agree(self):
+        """A machine with every latency at zero still retires the whole
+        trace, and the kernel path stays bit-identical to the object
+        core on it (ready-at-dispatch is the degenerate scheduling
+        case)."""
+        trace = cached_trace("gzip", length=3000, seed=5, code_copies=2)
+        snaps = {}
+        for flag in ("0", "1"):
+            os.environ["REPRO_KERNELS"] = flag
+            try:
+                core = OutOfOrderCore(config=zero_latency_config(),
+                                      track_value_delay=True)
+                res = core.run(trace)
+            finally:
+                os.environ["REPRO_KERNELS"] = "1"
+            snaps[flag] = (res.cycles, res.retired, res.branches,
+                           res.branch_mispredicts, res.icache_misses,
+                           res.dcache_accesses, res.dcache_misses,
+                           dict(res.value_delay_histogram))
+        assert snaps["0"] == snaps["1"]
+        assert snaps["1"][1] == len(trace)
+        # with no stalls the machine approaches its width limit
+        assert snaps["1"][0] < len(trace)

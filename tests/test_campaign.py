@@ -389,8 +389,8 @@ class TestScheduler:
 # ---------------------------------------------------------------------------
 # Shipped specs
 # ---------------------------------------------------------------------------
-SHIPPED = ["fig8", "fig10", "fig13", "fig16", "fig18", "gdiff-grid",
-           "mini"]
+SHIPPED = ["fig8", "fig10", "fig13", "fig16", "fig18", "fig19",
+           "gdiff-grid", "mini"]
 SPEC_DIR = Path(__file__).resolve().parent.parent / "examples" / "campaigns"
 
 
@@ -425,6 +425,35 @@ class TestShippedSpecs:
         cell = spec.cells()[0]
         stored = store.load_cell(cell.cell_id)
         assert stored["result"]["experiment"] == direct.as_dict()
+
+    def test_shipped_fig19_round_trip(self, tmp_path):
+        """The fig19 speedup grid runs both queue depths through the
+        store and matches a direct harness call cell-for-cell.  The
+        H_mean row carries a NaN baseline_ipc, so equality is checked
+        NaN-tolerantly (NaN == NaN after the JSON round-trip)."""
+        def nan_eq(a, b):
+            if isinstance(a, float) and isinstance(b, float):
+                return a == b or (a != a and b != b)
+            if isinstance(a, dict) and isinstance(b, dict):
+                return (a.keys() == b.keys()
+                        and all(nan_eq(a[k], b[k]) for k in a))
+            if isinstance(a, list) and isinstance(b, list):
+                return (len(a) == len(b)
+                        and all(nan_eq(x, y) for x, y in zip(a, b)))
+            return a == b
+
+        spec = CampaignSpec.load(SPEC_DIR / "fig19.toml")
+        spec.apply_sets({"length": 6000, "benchmarks": ["gcc", "mcf"]})
+        store = CampaignStore(tmp_path / "c")
+        store.create(spec)
+        assert scheduler(spec, store).run().completed == 2
+        for cell in spec.cells():
+            direct = run_experiment("fig19", length=6000,
+                                    benchmarks=["gcc", "mcf"],
+                                    order=cell.params["order"])
+            stored = store.load_cell(cell.cell_id)
+            assert nan_eq(stored["result"]["experiment"],
+                          direct.as_dict())
 
 
 # ---------------------------------------------------------------------------
