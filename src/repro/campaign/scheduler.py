@@ -10,10 +10,13 @@ quarantined (a record with the traceback) — while guaranteeing:
 * **Fault isolation**: an exception inside a cell is caught *in the
   worker* and returned as data, retried with capped exponential backoff,
   and finally quarantined — one broken configuration cannot abort the
-  other cells.  A worker that dies outright (segfault, OOM-kill) breaks
-  its process pool; the scheduler recreates the pool on the next round
-  and re-tries only the casualties, so a poisoned cell eventually lands
-  in quarantine while its siblings complete.
+  other cells.  A worker that dies outright (segfault, OOM-kill) takes
+  only itself down: the persistent pool replaces the dead worker in
+  place and the scheduler re-tries only the casualties, so a poisoned
+  cell eventually lands in quarantine while its siblings complete.
+  (Under the legacy ``REPRO_POOL=fresh`` executor the whole pool breaks
+  and is recreated on the next round — same store outcomes, more
+  collateral retries.)
 * **Determinism**: a worker computes exactly what a direct
   :func:`~repro.harness.experiments.run_experiment` /
   :func:`~repro.harness.runner.run_value_prediction` call computes — same
@@ -38,7 +41,9 @@ from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from ..harness.parallel import TASK_OK, default_workers, run_tasks
 from ..telemetry import MetricsRegistry, RunManifest, get_logger
+from ..trace import shm
 from ..trace.cache import cache_enabled, default_cache
+from ..trace.packed import PackedTrace
 from .spec import Cell, CampaignSpec
 from .store import CampaignStore
 
@@ -310,9 +315,17 @@ class CampaignScheduler:
         return plan
 
     def warm_cache(self, cells: List[Cell]) -> int:
-        """Generate-or-load every trace the grid needs, once, up front."""
+        """Generate-or-load every trace the grid needs, once, up front.
+
+        Warmed traces are also published to shared memory (when enabled):
+        pool workers attach the driver's segments zero-copy instead of
+        each re-inflating the disk cache, and the publications stay alive
+        across scheduler rounds for the life of the driver.
+        """
         if not cache_enabled():
             return 0
+        from ..trace.workloads import get as _workload
+
         plan = sorted(self.warm_plan(cells),
                       key=lambda t: (t[0], t[1], t[3]))
         cache = default_cache(metrics=self.registry)
@@ -325,12 +338,20 @@ class CampaignScheduler:
                 # Best effort: a bad cell config (e.g. negative length) must
                 # surface as a quarantined cell, not abort the whole run here.
                 try:
-                    cache.load_or_generate(bench, length, seed=seed,
-                                           code_copies=copies)
+                    trace = cache.load_or_generate(bench, length, seed=seed,
+                                                   code_copies=copies)
                     warmed += 1
                 except Exception as exc:
                     log.warning("cache warm failed for %s length=%s: %s",
                                 bench, length, exc)
+                    continue
+                if shm.shm_enabled() and isinstance(trace, PackedTrace):
+                    # Publish under the *effective* seed so worker-side
+                    # ``cached_trace`` lookups (which resolve a None seed
+                    # to the workload default) find the segment.
+                    eff = _workload(bench).seed if seed is None else seed
+                    shm.publish(trace, (bench, length, eff, copies),
+                                metrics=self.registry)
         finally:
             if timer is not None:
                 span.items = warmed

@@ -2,11 +2,23 @@
 
 The figure suite is embarrassingly parallel — every experiment (and every
 per-workload body inside one) is an independent pure function of its
-arguments — so the driver here runs them through a
-:class:`~concurrent.futures.ProcessPoolExecutor`, ships each worker's
-:class:`~repro.telemetry.MetricsRegistry` snapshot back as a plain dict,
-and merges the snapshots into the caller's registry for one consolidated
-manifest.
+arguments — so the driver here fans work across processes, ships each
+worker's :class:`~repro.telemetry.MetricsRegistry` snapshot back as a
+plain dict, and merges the snapshots into the caller's registry for one
+consolidated manifest.
+
+Two worker planes exist, selected by ``REPRO_POOL``:
+
+* ``persistent`` (the default): a module-singleton :class:`WorkerPool` of
+  long-lived forked workers, reused across ``run_tasks``/``parallel_map``
+  calls and across scheduler rounds.  Warm per-worker state — the
+  in-process :class:`PackedTrace` memo, the pipeline timing memos, the
+  validated shared-memory attachments — survives between calls, so a
+  campaign pays interpreter spawn and trace materialisation once per
+  worker, not once per round.  A dead worker is replaced without
+  restarting the pool.
+* ``fresh``: the legacy one-:class:`ProcessPoolExecutor`-per-call path,
+  kept as the benchmark baseline and as a safety valve.
 
 Determinism is a hard requirement: a worker computes *exactly* what the
 serial path computes (same experiment function, same arguments, fresh
@@ -20,10 +32,13 @@ first so nothing is double-counted.
 
 from __future__ import annotations
 
+import atexit
+import multiprocessing
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
+from multiprocessing.connection import wait as _connection_wait
 from typing import (
     Any,
     Callable,
@@ -36,6 +51,7 @@ from typing import (
 )
 
 from ..telemetry import MetricsRegistry, get_logger
+from ..trace import shm
 from .experiments import run_experiment
 from .report import ExperimentResult
 
@@ -48,6 +64,24 @@ log = get_logger("repro.harness.parallel")
 #: surfaces, because the fallback re-runs the real body in-process.
 POOL_FAILURES = (BrokenProcessPool, OSError, PermissionError,
                  pickle.PicklingError, AttributeError, TypeError)
+
+#: Environment keys with this prefix are mirrored into persistent workers
+#: before every dispatch: a forked worker outlives the environment it was
+#: born under (tests monkeypatch ``REPRO_CACHE_DIR``; the CLI flips
+#: ``REPRO_SHM``), so each call re-synchronises.
+_ENV_PREFIX = "REPRO_"
+
+
+def pool_mode() -> str:
+    """``persistent`` (default) or ``fresh`` (legacy pool-per-call)."""
+    mode = os.environ.get("REPRO_POOL", "persistent").strip().lower()
+    return mode if mode in ("persistent", "fresh") else "persistent"
+
+
+def _count(registry: Optional[MetricsRegistry], name: str,
+           amount: int = 1) -> None:
+    if registry is not None and amount:
+        registry.counter(name).inc(amount)
 
 
 def _record_fallback(registry: Optional[MetricsRegistry],
@@ -95,6 +129,16 @@ def _crashing_worker(name: str, kwargs: Dict,
     os._exit(13)
 
 
+def _apply(task: Tuple[Callable, Tuple]) -> Any:
+    """Pool trampoline: ``(fn, args)`` → ``fn(*args)``.
+
+    Lets :func:`run_experiments` ship multi-argument experiment bodies
+    through the single-argument :meth:`WorkerPool.map_outcomes`.
+    """
+    fn, args = task
+    return fn(*args)
+
+
 def span_context(registry: Optional[MetricsRegistry]) -> Optional[Dict]:
     """The picklable span context workers should record under, or None
     when the driver is not tracing."""
@@ -103,6 +147,323 @@ def span_context(registry: Optional[MetricsRegistry]) -> Optional[Dict]:
     return registry.span_tracker.context()
 
 
+# ---------------------------------------------------------------------------
+# Persistent worker pool
+# ---------------------------------------------------------------------------
+def _sync_environ(env: Dict[str, str]) -> None:
+    """Make the worker's ``REPRO_*`` environment match the driver's."""
+    for key in [k for k in os.environ if k.startswith(_ENV_PREFIX)]:
+        if key not in env:
+            del os.environ[key]
+    os.environ.update(env)
+
+
+def _pool_worker_main(conn) -> None:  # pragma: no cover - subprocess body
+    """Persistent worker loop: apply setup envelopes, run task batches.
+
+    Everything module-level survives between batches — that is the point:
+    the trace memo, pipeline timing memos, and shared-memory attachments
+    stay warm for the worker's whole life.
+    """
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        kind = msg[0]
+        if kind == "stop":
+            break
+        if kind == "setup":
+            env, handles = msg[1], msg[2]
+            _sync_environ(env)
+            if handles is not None:
+                shm.install_table(handles)
+            continue
+        _kind, fn, tagged = msg  # ("batch", fn, [(tid, item), ...])
+        for tid, item in tagged:
+            try:
+                result = fn(item)
+            except BaseException as exc:
+                try:
+                    conn.send(("raise", tid, exc))
+                except Exception:
+                    conn.send(("raise", tid, RuntimeError(
+                        f"{type(exc).__name__}: {exc}")))
+            else:
+                try:
+                    conn.send(("ok", tid, result))
+                except Exception as exc:
+                    conn.send(("raise", tid, RuntimeError(
+                        f"task {tid} result failed to pickle: {exc}")))
+    try:
+        conn.close()
+    except OSError:
+        pass
+
+
+class _Worker:
+    """One persistent worker process plus its driver-side pipe end."""
+
+    __slots__ = ("proc", "conn", "inflight", "shm_version")
+
+    def __init__(self, ctx) -> None:
+        driver_end, worker_end = ctx.Pipe(duplex=True)
+        self.proc = ctx.Process(target=_pool_worker_main, args=(worker_end,),
+                                daemon=True, name="repro-pool-worker")
+        self.proc.start()
+        worker_end.close()  # the child holds it now; keep EOF detectable
+        self.conn = driver_end
+        self.inflight: List[int] = []
+        self.shm_version = -1
+
+
+class WorkerPool:
+    """Long-lived worker processes reused across dispatch calls.
+
+    Crash semantics: a worker dying mid-batch resolves only *its* in-flight
+    tasks as crashes — siblings keep running, queued tasks still dispatch,
+    and the dead worker is replaced (while work remains) without
+    restarting the pool.  Compare the legacy per-call executor, where one
+    hard-exiting task breaks every sibling future in the round.
+    """
+
+    def __init__(self, size: Optional[int] = None) -> None:
+        self.size = max(1, size or default_workers())
+        self._ctx = multiprocessing.get_context()
+        self._workers: List[_Worker] = []
+        self._closed = False
+
+    # -- lifecycle --------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def worker_pids(self) -> List[int]:
+        return [w.proc.pid for w in self._workers]
+
+    def _spawn(self, registry: Optional[MetricsRegistry]) -> _Worker:
+        worker = _Worker(self._ctx)
+        self._workers.append(worker)
+        _count(registry, "pool.spawn")
+        return worker
+
+    def _setup(self, worker: _Worker,
+               version: int, handles, env: Dict[str, str]) -> None:
+        """Ship the dispatch envelope: env sync + shm handle table."""
+        payload = handles if worker.shm_version != version else None
+        worker.conn.send(("setup", env, payload))
+        worker.shm_version = version
+
+    def close(self) -> None:
+        """Stop every worker (graceful, then terminate stragglers)."""
+        self._closed = True
+        for worker in self._workers:
+            try:
+                worker.conn.send(("stop",))
+            except Exception:
+                pass
+        for worker in self._workers:
+            worker.proc.join(timeout=2)
+            if worker.proc.is_alive():  # pragma: no cover - stuck worker
+                worker.proc.terminate()
+                worker.proc.join(timeout=2)
+            try:
+                worker.conn.close()
+            except Exception:
+                pass
+        self._workers.clear()
+
+    # -- dispatch ---------------------------------------------------------
+    def map_outcomes(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence,
+        workers: Optional[int] = None,
+        registry: Optional[MetricsRegistry] = None,
+        batch: int = 1,
+        on_outcome: Optional[Callable[[int, Tuple[str, Any]], None]] = None,
+    ) -> List[Tuple[str, Any]]:
+        """Run ``fn`` over *items* on persistent workers.
+
+        Returns ``[(status, value)]`` aligned with *items*: ``("ok",
+        result)``, ``("raise", exception)`` for an exception *fn* raised in
+        a worker, or ``("crash", reason)`` for a worker that died before
+        replying.  A driver-side dispatch failure (unpicklable *fn* or
+        item) raises — after every in-flight task has drained, so a retry
+        or fallback never races stale replies.
+        """
+        if self._closed:
+            raise BrokenProcessPool("worker pool is shut down")
+        items = list(items)
+        if not items:
+            return []
+        outcomes: List[Optional[Tuple[str, Any]]] = [None] * len(items)
+        # An explicit worker request wins over the core-count default —
+        # exactly like an explicit ``max_workers`` on the legacy executor.
+        want = max(1, min(len(items), workers if workers else self.size))
+        pending: List[int] = list(range(len(items) - 1, -1, -1))
+        send_error: Optional[BaseException] = None
+        batch = max(1, batch)
+
+        _count(registry, "pool.reuse", min(len(self._workers), want))
+        while len(self._workers) < want:
+            self._spawn(registry)
+        active = list(self._workers[:want])
+        env = {k: v for k, v in os.environ.items()
+               if k.startswith(_ENV_PREFIX)}
+        version, handles = shm.current_table()
+
+        def resolve(tid: int, outcome: Tuple[str, Any]) -> None:
+            outcomes[tid] = outcome
+            if on_outcome is not None:
+                on_outcome(tid, outcome)
+
+        def handle(worker: _Worker, msg: Tuple) -> None:
+            kind, tid, payload = msg
+            worker.inflight.remove(tid)
+            resolve(tid, ("ok" if kind == "ok" else "raise", payload))
+
+        def reap(worker: _Worker) -> None:
+            """A worker died: drain what it sent, crash the rest, replace."""
+            nonlocal send_error
+            while True:
+                try:
+                    if not worker.conn.poll(0):
+                        break
+                    msg = worker.conn.recv()
+                except (EOFError, OSError):
+                    break
+                handle(worker, msg)
+            worker.proc.join(timeout=5)
+            reason = (f"BrokenProcessPool: worker pid {worker.proc.pid} "
+                      f"died (exit {worker.proc.exitcode})")
+            log.warning("%s with %d task(s) in flight",
+                        reason, len(worker.inflight))
+            for tid in list(worker.inflight):
+                resolve(tid, ("crash", reason))
+            worker.inflight.clear()
+            try:
+                worker.conn.close()
+            except Exception:
+                pass
+            if worker in self._workers:
+                self._workers.remove(worker)
+            if worker in active:
+                active.remove(worker)
+            if pending and send_error is None:
+                try:
+                    replacement = self._spawn(registry)
+                    self._setup(replacement, version, handles, env)
+                except OSError as exc:  # pragma: no cover - fork refused
+                    send_error = exc
+                else:
+                    active.append(replacement)
+                    _count(registry, "pool.replace")
+
+        def give(worker: _Worker) -> None:
+            """Hand the next batch of pending tasks to an idle worker."""
+            nonlocal send_error
+            take = [pending.pop() for _ in range(min(batch, len(pending)))]
+            tagged = [(tid, items[tid]) for tid in take]
+            try:
+                worker.conn.send(("batch", fn, tagged))
+            except (pickle.PicklingError, AttributeError,
+                    TypeError) as exc:
+                pending.extend(reversed(take))
+                send_error = exc
+            except OSError:
+                pending.extend(reversed(take))
+                reap(worker)
+            else:
+                worker.inflight.extend(take)
+                _count(registry, "pool.batches")
+                _count(registry, "pool.tasks", len(take))
+
+        try:
+            for worker in active:
+                self._setup(worker, version, handles, env)
+        except OSError as exc:
+            # A fresh worker refusing its envelope means the pool cannot
+            # run here at all (e.g. a sandbox killed the fork) — surface
+            # as a pool failure so callers fall back serially.
+            raise BrokenProcessPool(
+                f"worker setup failed: {exc}") from exc
+
+        while True:
+            if send_error is None and pending:
+                for worker in list(active):
+                    if not pending:
+                        break
+                    if not worker.inflight:
+                        give(worker)
+            busy = [w for w in active if w.inflight]
+            if not busy:
+                break
+            conn_of = {w.conn: w for w in busy}
+            sentinel_of = {w.proc.sentinel: w for w in busy}
+            ready = _connection_wait(list(conn_of) + list(sentinel_of))
+            reaped: set = set()
+            for obj in ready:
+                worker = conn_of.get(obj)
+                if worker is not None:
+                    if id(worker) in reaped:
+                        continue
+                    try:
+                        msg = worker.conn.recv()
+                    except (EOFError, OSError):
+                        reaped.add(id(worker))
+                        reap(worker)
+                    else:
+                        handle(worker, msg)
+                    continue
+                worker = sentinel_of[obj]
+                if id(worker) in reaped or not worker.inflight:
+                    continue
+                reaped.add(id(worker))
+                reap(worker)
+
+        if registry is not None:
+            registry.gauge("pool.workers").set(len(self._workers))
+        if send_error is not None:
+            raise send_error
+        return [outcome or ("crash", "task never completed")
+                for outcome in outcomes]
+
+
+_POOL: Optional[WorkerPool] = None
+_POOL_PID: Optional[int] = None
+_ATEXIT_REGISTERED = False
+
+
+def get_pool(registry: Optional[MetricsRegistry] = None) -> WorkerPool:
+    """The process-wide persistent pool (created on first use).
+
+    ``pool.created`` counts constructions: a whole campaign — every round,
+    every retry, a stop/resume pair in one process — should see exactly
+    one.  Forked children never inherit a usable pool (pid guard).
+    """
+    global _POOL, _POOL_PID, _ATEXIT_REGISTERED
+    if _POOL is None or _POOL.closed or _POOL_PID != os.getpid():
+        _POOL = WorkerPool()
+        _POOL_PID = os.getpid()
+        _count(registry, "pool.created")
+        if not _ATEXIT_REGISTERED:
+            atexit.register(shutdown_pool)
+            _ATEXIT_REGISTERED = True
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Stop the persistent pool's workers (driver exit / test teardown)."""
+    global _POOL
+    if _POOL is not None and _POOL_PID == os.getpid():
+        _POOL.close()
+    _POOL = None
+
+
+# ---------------------------------------------------------------------------
+# Public entry points
+# ---------------------------------------------------------------------------
 def run_experiments(
     names: Sequence[str],
     max_workers: Optional[int] = None,
@@ -148,35 +509,14 @@ def run_experiments(
     span_ctx = span_context(registry)
 
     if max_workers > 1 and total > 1:
-        results: Dict[str, ExperimentResult] = {}
-        snapshots: List[Dict] = []
-        try:
-            with ProcessPoolExecutor(
-                    max_workers=min(max_workers, total)) as pool:
-                futures = {name: pool.submit(pool_worker, name, kw(name),
-                                             span_ctx)
-                           for name in names}
-                done = 0
-                for name in names:
-                    result, snapshot = futures[name].result()
-                    results[name] = result
-                    snapshots.append(snapshot)
-                    done += 1
-                    if on_progress is not None:
-                        on_progress(done, total)
-        except POOL_FAILURES as exc:
-            log.warning("experiment pool failed (%s: %s); "
-                        "falling back to serial execution",
-                        type(exc).__name__, exc)
-            _record_fallback(registry, exc)
-        else:
-            if registry is not None:
-                for snapshot in snapshots:
-                    registry.merge_dict(snapshot)
-            return {name: results[name] for name in names}
+        fanned = _run_experiments_pooled(
+            names, kw, span_ctx, max_workers, registry=registry,
+            on_progress=on_progress, pool_worker=pool_worker)
+        if fanned is not None:
+            return fanned
 
-    results = {}
-    snapshots = []
+    results: Dict[str, ExperimentResult] = {}
+    snapshots: List[Dict] = []
     done = 0
     for name in names:
         result, snapshot = _run_one(name, kw(name), span_ctx)
@@ -191,6 +531,94 @@ def run_experiments(
     return results
 
 
+def _run_experiments_pooled(
+    names: List[str],
+    kw: Callable[[str], Dict],
+    span_ctx: Optional[Dict],
+    max_workers: int,
+    registry: Optional[MetricsRegistry],
+    on_progress: Optional[Callable[[int, Optional[int]], None]],
+    pool_worker: Callable[..., Tuple[ExperimentResult, Dict]],
+) -> Optional[Dict[str, ExperimentResult]]:
+    """The fan-out half of :func:`run_experiments`.
+
+    Returns the committed results, or ``None`` when the pool failed and
+    the caller should run the serial fallback (already counted).
+    """
+    total = len(names)
+    if pool_mode() == "persistent":
+        tasks = [(pool_worker, (name, kw(name), span_ctx)) for name in names]
+        done = 0
+
+        def on_outcome(tid: int, outcome: Tuple[str, Any]) -> None:
+            nonlocal done
+            if outcome[0] == "ok" and on_progress is not None:
+                done += 1
+                on_progress(done, total)
+
+        try:
+            raw = get_pool(registry).map_outcomes(
+                _apply, tasks, workers=min(max_workers, total),
+                registry=registry, on_outcome=on_outcome)
+        except POOL_FAILURES as exc:
+            log.warning("experiment pool failed (%s: %s); "
+                        "falling back to serial execution",
+                        type(exc).__name__, exc)
+            _record_fallback(registry, exc)
+            return None
+        failure: Optional[BaseException] = None
+        for status, value in raw:
+            if status == "crash":
+                failure = BrokenProcessPool(value)
+                break
+            if status == "raise":
+                if isinstance(value, POOL_FAILURES):
+                    failure = value
+                    break
+                raise value
+        if failure is not None:
+            # One casualty discards the whole parallel attempt: the
+            # serial fallback recomputes everything, so committing any
+            # partial snapshot would double-count its metrics.
+            log.warning("experiment pool failed (%s: %s); "
+                        "falling back to serial execution",
+                        type(failure).__name__, failure)
+            _record_fallback(registry, failure)
+            return None
+        results = {name: raw[i][1][0] for i, name in enumerate(names)}
+        if registry is not None:
+            for _status, (_result, snapshot) in raw:
+                registry.merge_dict(snapshot)
+        return results
+
+    results = {}
+    snapshots: List[Dict] = []
+    try:
+        with ProcessPoolExecutor(
+                max_workers=min(max_workers, total)) as pool:
+            futures = {name: pool.submit(pool_worker, name, kw(name),
+                                         span_ctx)
+                       for name in names}
+            done = 0
+            for name in names:
+                result, snapshot = futures[name].result()
+                results[name] = result
+                snapshots.append(snapshot)
+                done += 1
+                if on_progress is not None:
+                    on_progress(done, total)
+    except POOL_FAILURES as exc:
+        log.warning("experiment pool failed (%s: %s); "
+                    "falling back to serial execution",
+                    type(exc).__name__, exc)
+        _record_fallback(registry, exc)
+        return None
+    if registry is not None:
+        for snapshot in snapshots:
+            registry.merge_dict(snapshot)
+    return {name: results[name] for name in names}
+
+
 def parallel_map(
     fn: Callable,
     items: Iterable,
@@ -203,34 +631,107 @@ def parallel_map(
     The workhorse for fanning per-workload benchmark bodies out: *fn* must
     be a picklable module-level callable.  Falls back to an in-process
     loop on one worker, one item, or any pool failure (counted as
-    ``parallel.fallback`` on *registry*).
+    ``parallel.fallback`` on *registry*) — and a mid-batch failure keeps
+    every already-finished result, re-running only the casualties
+    (``parallel.salvaged`` counts the reused results).
     """
     items = list(items)
     if max_workers is None:
         max_workers = default_workers()
     total = len(items)
     if max_workers > 1 and total > 1:
-        try:
-            with ProcessPoolExecutor(
-                    max_workers=min(max_workers, total)) as pool:
-                futures = [pool.submit(fn, item) for item in items]
-                results = []
-                for i, future in enumerate(futures):
-                    results.append(future.result())
-                    if on_progress is not None:
-                        on_progress(i + 1, total)
+        if pool_mode() == "persistent":
+            done = 0
+
+            def on_outcome(tid: int, outcome: Tuple[str, Any]) -> None:
+                nonlocal done
+                if outcome[0] == "ok" and on_progress is not None:
+                    done += 1
+                    on_progress(done, total)
+
+            try:
+                raw = get_pool(registry).map_outcomes(
+                    fn, items, workers=min(max_workers, total),
+                    registry=registry, batch=_auto_batch(total, max_workers),
+                    on_outcome=on_outcome)
+            except POOL_FAILURES as exc:
+                log.warning("parallel_map pool failed (%s: %s); "
+                            "falling back to serial execution",
+                            type(exc).__name__, exc)
+                _record_fallback(registry, exc)
+            else:
+                results: List = [None] * total
+                failed: List[int] = []
+                failure: Optional[BaseException] = None
+                for i, (status, value) in enumerate(raw):
+                    if status == "ok":
+                        results[i] = value
+                    elif (status == "raise"
+                          and not isinstance(value, POOL_FAILURES)):
+                        raise value
+                    else:
+                        failed.append(i)
+                        if failure is None:
+                            failure = (value if isinstance(value,
+                                                           BaseException)
+                                       else BrokenProcessPool(value))
+                if failed:
+                    log.warning(
+                        "parallel_map lost %d/%d item(s) (%s); re-running "
+                        "them serially, keeping the rest",
+                        len(failed), total, failure)
+                    _record_fallback(registry, failure)
+                    _count(registry, "parallel.salvaged",
+                           total - len(failed))
+                    for i in failed:
+                        results[i] = fn(items[i])
+                        if on_progress is not None:
+                            done += 1
+                            on_progress(done, total)
                 return results
-        except POOL_FAILURES as exc:
-            log.warning("parallel_map pool failed (%s: %s); "
-                        "falling back to serial execution",
-                        type(exc).__name__, exc)
-            _record_fallback(registry, exc)
+        else:
+            futures: List = []
+            try:
+                with ProcessPoolExecutor(
+                        max_workers=min(max_workers, total)) as pool:
+                    futures = [pool.submit(fn, item) for item in items]
+                    results = []
+                    for i, future in enumerate(futures):
+                        results.append(future.result())
+                        if on_progress is not None:
+                            on_progress(i + 1, total)
+                    return results
+            except POOL_FAILURES as exc:
+                log.warning("parallel_map pool failed (%s: %s); "
+                            "falling back to serial execution",
+                            type(exc).__name__, exc)
+                _record_fallback(registry, exc)
+                salvaged: Dict[int, Any] = {}
+                for i, future in enumerate(futures):
+                    if (future.done() and not future.cancelled()
+                            and future.exception() is None):
+                        salvaged[i] = future.result()
+                if salvaged:
+                    _count(registry, "parallel.salvaged", len(salvaged))
+                    results = []
+                    for i, item in enumerate(items):
+                        results.append(salvaged[i] if i in salvaged
+                                       else fn(item))
+                        if on_progress is not None:
+                            on_progress(i + 1, total)
+                    return results
     results = []
     for i, item in enumerate(items):
         results.append(fn(item))
         if on_progress is not None:
             on_progress(i + 1, total)
     return results
+
+
+def _auto_batch(total: int, workers: int) -> int:
+    """Batch size amortising IPC for many-small-item maps: aim for ~4
+    dispatches per worker so load stays balanced while framing shrinks."""
+    return max(1, total // (workers * 4))
 
 
 #: Outcome statuses yielded by :func:`run_tasks`.
@@ -248,8 +749,8 @@ def run_tasks(
     """Run *fn* over *items*, reporting per-item outcomes instead of
     failing the whole batch.
 
-    Unlike :func:`parallel_map` — which re-runs *everything* serially when
-    the pool dies — this keeps whatever finished and marks only the
+    Unlike :func:`parallel_map` — which re-runs the casualties serially
+    when the pool dies — this keeps whatever finished and marks only the
     casualties, which is what a resumable scheduler needs: one poisoned
     task must not discard its siblings' completed work.
 
@@ -265,39 +766,80 @@ def run_tasks(
     that cannot be created at all (counted via ``parallel.fallback``) —
     runs items in-process, where an escaping exception propagates to the
     caller.
+
+    Under the persistent pool a crash is contained to the worker that ran
+    the item: siblings finish normally and the dead worker is replaced
+    in-place, so a crash round no longer breaks innocent futures.
     """
     items = list(items)
     outcomes: List[Optional[Tuple[str, Any]]] = [None] * len(items)
     if max_workers is None:
         max_workers = default_workers()
     if max_workers > 1 and items:
-        try:
-            pool = ProcessPoolExecutor(max_workers=min(max_workers,
-                                                       len(items)))
-        except POOL_FAILURES as exc:
-            log.warning("task pool could not start (%s: %s); "
-                        "running tasks in-process",
-                        type(exc).__name__, exc)
-            _record_fallback(registry, exc)
+        if pool_mode() == "persistent":
+            raised: List[BaseException] = []
+
+            def on_outcome(tid: int, outcome: Tuple[str, Any]) -> None:
+                status, value = outcome
+                if status == "ok":
+                    mapped = (TASK_OK, value)
+                elif status == "crash":
+                    mapped = (TASK_CRASH, value)
+                elif isinstance(value, POOL_FAILURES):
+                    mapped = (TASK_CRASH,
+                              f"{type(value).__name__}: {value}")
+                    log.warning("task %d crashed its worker (%s)",
+                                tid, mapped[1])
+                else:
+                    raised.append(value)
+                    return
+                outcomes[tid] = mapped
+                if on_result is not None:
+                    on_result(tid, mapped)
+
+            try:
+                get_pool(registry).map_outcomes(
+                    fn, items, workers=min(max_workers, len(items)),
+                    registry=registry, on_outcome=on_outcome)
+            except POOL_FAILURES as exc:
+                log.warning("task pool could not run (%s: %s); "
+                            "running tasks in-process",
+                            type(exc).__name__, exc)
+                _record_fallback(registry, exc)
+            else:
+                if raised:
+                    raise raised[0]
+                return [outcome or (TASK_CRASH, "task never completed")
+                        for outcome in outcomes]
         else:
-            with pool:
-                futures = {pool.submit(fn, item): i
-                           for i, item in enumerate(items)}
-                for future in as_completed(futures):
-                    i = futures[future]
-                    try:
-                        outcomes[i] = (TASK_OK, future.result())
-                    except POOL_FAILURES as exc:
-                        outcomes[i] = (
-                            TASK_CRASH, f"{type(exc).__name__}: {exc}")
-                        log.warning("task %d crashed its worker (%s)",
-                                    i, outcomes[i][1])
-                    if on_result is not None:
-                        on_result(i, outcomes[i])
-            # Every future resolves through as_completed (a broken pool
-            # resolves the stragglers exceptionally), so no slot is None.
-            return [outcome or (TASK_CRASH, "task never completed")
-                    for outcome in outcomes]
+            try:
+                pool = ProcessPoolExecutor(max_workers=min(max_workers,
+                                                           len(items)))
+            except POOL_FAILURES as exc:
+                log.warning("task pool could not start (%s: %s); "
+                            "running tasks in-process",
+                            type(exc).__name__, exc)
+                _record_fallback(registry, exc)
+            else:
+                with pool:
+                    futures = {pool.submit(fn, item): i
+                               for i, item in enumerate(items)}
+                    for future in as_completed(futures):
+                        i = futures[future]
+                        try:
+                            outcomes[i] = (TASK_OK, future.result())
+                        except POOL_FAILURES as exc:
+                            outcomes[i] = (
+                                TASK_CRASH, f"{type(exc).__name__}: {exc}")
+                            log.warning("task %d crashed its worker (%s)",
+                                        i, outcomes[i][1])
+                        if on_result is not None:
+                            on_result(i, outcomes[i])
+                # Every future resolves through as_completed (a broken pool
+                # resolves the stragglers exceptionally), so no slot is
+                # None.
+                return [outcome or (TASK_CRASH, "task never completed")
+                        for outcome in outcomes]
     for i, item in enumerate(items):
         outcomes[i] = (TASK_OK, fn(item))
         if on_result is not None:

@@ -23,7 +23,8 @@ Configuration:
 Telemetry: an attached :class:`~repro.telemetry.MetricsRegistry` receives
 ``cache.hit`` / ``cache.miss`` / ``cache.store`` / ``cache.invalid`` /
 ``cache.lock_wait`` counters, ``cache.bytes_written`` /
-``cache.bytes_read``, and — from :meth:`TraceCache.stats` —
+``cache.bytes_read``, the in-process memo's ``cache.mem_hit`` /
+``cache.mem_evict``, and — from :meth:`TraceCache.stats` —
 ``cache.entries`` / ``cache.bytes`` gauges.
 """
 
@@ -33,12 +34,14 @@ import hashlib
 import os
 import tempfile
 import time
+from collections import OrderedDict
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from itertools import islice
 
 from ..telemetry import get_logger
+from . import shm
 from .io import PACKED_FORMAT_VERSION, TraceFormatError, load_packed, save_packed
 from .packed import PackedTrace
 from .synthetic import WorkloadSpec
@@ -359,36 +362,75 @@ def default_cache(metrics=None) -> TraceCache:
     return TraceCache(metrics=metrics)
 
 
-#: In-process memo over the disk cache: repeated experiment calls (bench
-#: rounds, campaign sweeps) get the *same* ``PackedTrace`` object back,
-#: so per-trace derived state keyed by object identity — the pipeline
-#: kernel's dataflow/fetch/timing auxiliaries — survives across calls
-#: instead of being rebuilt from a fresh deserialisation each time.
-#: Traces are immutable once packed, so sharing is safe.  Small FIFO.
-_MEM_CACHE: Dict[tuple, PackedTrace] = {}
+#: In-process memo over the disk/shm tiers: repeated experiment calls
+#: (bench rounds, campaign sweeps, warm pool workers) get the *same*
+#: ``PackedTrace`` object back, so per-trace derived state keyed by
+#: object identity — the pipeline kernel's dataflow/fetch/timing
+#: auxiliaries — survives across calls instead of being rebuilt from a
+#: fresh deserialisation each time.  Traces are immutable once packed,
+#: so sharing is safe.  A true LRU: a hit refreshes recency
+#: (``cache.mem_hit``), inserting past the cap evicts the least
+#: recently used entry (``cache.mem_evict``).
+_MEM_CACHE: "OrderedDict[tuple, PackedTrace]" = OrderedDict()
 _MEM_CAP = 12
+
+
+def _memo_get(memo_key: tuple, metrics) -> Optional[PackedTrace]:
+    hit = _MEM_CACHE.get(memo_key)
+    if hit is None:
+        return None
+    _MEM_CACHE.move_to_end(memo_key)
+    if metrics is not None:
+        metrics.counter("cache.mem_hit").inc()
+        # A memo hit is still a cache hit: the entry was served warm,
+        # just from the cheapest tier.
+        metrics.counter("cache.hit").inc()
+    return hit
+
+
+def _memo_put(memo_key: tuple, trace: PackedTrace, metrics) -> None:
+    while len(_MEM_CACHE) >= _MEM_CAP:
+        _MEM_CACHE.popitem(last=False)
+        if metrics is not None:
+            metrics.counter("cache.mem_evict").inc()
+    _MEM_CACHE[memo_key] = trace
+
+
+def memo_clear() -> None:
+    """Empty the in-process trace memo (test hook)."""
+    _MEM_CACHE.clear()
 
 
 def cached_trace(workload: Union[str, WorkloadSpec], length: int,
                  seed: Optional[int] = None, code_copies: int = 1,
                  metrics=None):
     """The experiment harness entry point: packed-and-cached when the
-    cache is enabled, plain in-memory generation otherwise."""
+    cache is enabled, plain in-memory generation otherwise.
+
+    Lookup tiers, cheapest first: the in-process memo (same object
+    back), the shared-memory trace plane (zero-copy attach to a segment
+    the campaign driver published — see :mod:`repro.trace.shm`), then
+    the on-disk cache.  Every tier yields bit-identical columns; shm
+    and memo hits both count ``cache.hit``.
+    """
     if cache_enabled():
         spec = _resolve(workload)
         effective_seed = spec.seed if seed is None else seed
         memo_key = (str(cache_root()), spec.name, length, effective_seed,
                     code_copies)
-        if metrics is None:
-            hit = _MEM_CACHE.get(memo_key)
-            if hit is not None:
-                return hit
-        trace = default_cache(metrics=metrics).load_or_generate(
-            spec, length, seed=seed, code_copies=code_copies)
+        hit = _memo_get(memo_key, metrics)
+        if hit is not None:
+            return hit
+        trace = shm.shm_trace(spec.name, length, effective_seed,
+                              code_copies, metrics=metrics)
+        if trace is not None:
+            if metrics is not None:
+                metrics.counter("cache.hit").inc()
+        else:
+            trace = default_cache(metrics=metrics).load_or_generate(
+                spec, length, seed=seed, code_copies=code_copies)
         if isinstance(trace, PackedTrace):
-            if len(_MEM_CACHE) >= _MEM_CAP:
-                _MEM_CACHE.pop(next(iter(_MEM_CACHE)))
-            _MEM_CACHE[memo_key] = trace
+            _memo_put(memo_key, trace, metrics)
         return trace
     spec = _resolve(workload)
     return spec.trace(length, seed=seed, code_copies=code_copies)

@@ -27,6 +27,13 @@ everything the harness and pipeline consume: ``len``, indexing, iteration
 (yielding real ``Instruction`` records built on demand), ``name`` and
 ``stats``.  The serialised twin of this layout is the binary trace-cache
 format in :mod:`repro.trace.io`.
+
+Columns are normally ``array`` objects, but any buffer exposing the same
+typed-element protocol works: the shared-memory trace plane
+(:mod:`repro.trace.shm`) backs them with zero-copy ``memoryview`` casts
+over a ``multiprocessing.shared_memory`` segment.  Pickling always
+materialises plain ``array`` columns first, so a shm-backed trace ships
+by value rather than by (process-local) buffer reference.
 """
 
 from __future__ import annotations
@@ -349,8 +356,40 @@ class PackedTrace:
         return {col: self._cols[col][self._start:self._stop]
                 for col, _tc in COLUMNS}
 
+    def materialized_columns(self) -> Dict[str, array]:
+        """This view's columns as owning ``array`` objects.
+
+        Columns that already are arrays pass through unchanged (full
+        views share them); buffer-backed columns — shared-memory
+        ``memoryview`` casts — are copied out, so the result never
+        references another process's segment.
+        """
+        out: Dict[str, array] = {}
+        view = self.columns()
+        for col, typecode in COLUMNS:
+            data = view[col]
+            if isinstance(data, array):
+                out[col] = data
+            else:
+                copied = array(typecode)
+                copied.frombytes(data.tobytes())
+                out[col] = copied
+        return out
+
+    def __reduce__(self):
+        # Default slots pickling would try to pickle the column buffers
+        # themselves; memoryview columns (shared memory) cannot pickle,
+        # and would be wrong anyway across machines.  Materialise.
+        return (_rebuild_packed,
+                (self.materialized_columns(), self.name))
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<PackedTrace {self.name!r} len={len(self)}>"
+
+
+def _rebuild_packed(columns: Dict[str, array], name: str) -> "PackedTrace":
+    """Unpickle target for :meth:`PackedTrace.__reduce__`."""
+    return PackedTrace(columns, name=name)
 
 
 def pack_trace(trace: Iterable[Instruction], name: str = "trace") -> PackedTrace:

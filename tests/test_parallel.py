@@ -7,6 +7,7 @@ fallback when the pool cannot be used.
 """
 
 import os
+import time
 
 import pytest
 
@@ -15,9 +16,12 @@ from repro.harness.parallel import (
     TASK_OK,
     _crashing_worker,
     default_workers,
+    get_pool,
     parallel_map,
+    pool_mode,
     run_experiments,
     run_tasks,
+    shutdown_pool,
 )
 from repro.telemetry import MetricsRegistry
 
@@ -63,7 +67,13 @@ class TestMetrics:
             phase = f"experiment.{name}"
             assert snap_s["phases"][phase]["calls"] == 1
             assert snap_p["phases"][phase]["calls"] == 1
-        assert snap_s["counters"] == snap_p["counters"]
+        # Driver-side orchestration counters (pool dispatch accounting)
+        # legitimately differ; the *experiment* metrics must not.
+        def experiment_counters(snap):
+            return {name: value for name, value in snap["counters"].items()
+                    if not name.startswith(("pool.", "shm.", "parallel."))}
+
+        assert experiment_counters(snap_s) == experiment_counters(snap_p)
 
     def test_progress_callback_counts_up(self):
         seen = []
@@ -182,3 +192,120 @@ class TestRunTasks:
         run_tasks(_double, [5, 6], max_workers=2,
                   on_result=lambda i, outcome: seen.append((i, outcome)))
         assert sorted(seen) == [(0, (TASK_OK, 10)), (1, (TASK_OK, 12))]
+
+
+def _pid(_x):
+    return os.getpid()
+
+
+def _exit_or_sleep(x):
+    if x < 0:
+        os._exit(13)
+    time.sleep(0.2)
+    return x * 2
+
+
+def _exit_if_child(args):
+    """Dies only in a pool worker: the serial salvage re-run (same pid as
+    the driver that dispatched it) computes the real value."""
+    driver_pid, x = args
+    if x < 0 and os.getpid() != driver_pid:
+        os._exit(13)
+    return x * 10
+
+
+class TestPersistentPool:
+    """The default worker plane: long-lived workers reused across calls,
+    dead workers replaced in place, crash blast radius of one worker."""
+
+    def test_default_mode_is_persistent(self):
+        assert pool_mode() == "persistent"
+
+    def test_pool_created_once_and_reused(self):
+        shutdown_pool()
+        reg = MetricsRegistry()
+        run_tasks(_double, [1, 2], max_workers=2, registry=reg)
+        pool = get_pool()
+        run_tasks(_double, [3, 4], max_workers=2, registry=reg)
+        assert get_pool() is pool
+        counters = reg.as_dict()["counters"]
+        assert counters["pool.created"] == 1
+        assert counters["pool.spawn"] == 2  # first call only
+        assert counters["pool.reuse"] == 2  # both workers warm on call 2
+        assert counters["pool.tasks"] == 4
+
+    def test_workers_survive_between_calls(self):
+        shutdown_pool()
+        first = set(run_tasks(_pid, [0, 1], max_workers=2))
+        second = set(run_tasks(_pid, [0, 1], max_workers=2))
+        assert first == second  # literally the same worker processes
+
+    def test_dead_worker_replaced_not_pool_restarted(self):
+        """A crashing task takes down one worker; siblings and queued
+        tasks complete, and the pool replaces the casualty in place."""
+        shutdown_pool()
+        reg = MetricsRegistry()
+        # The poison item dies instantly while its sibling is mid-sleep,
+        # so work is still queued when the casualty is reaped.
+        outcomes = run_tasks(_exit_or_sleep, [-1, 1, 2, 3],
+                             max_workers=2, registry=reg)
+        assert outcomes[0][0] == TASK_CRASH
+        assert "BrokenProcessPool" in outcomes[0][1]
+        # Every sibling completed despite the crash — the legacy
+        # pool-per-call executor would have broken them all.
+        assert outcomes[1] == (TASK_OK, 2)
+        assert outcomes[2] == (TASK_OK, 4)
+        assert outcomes[3] == (TASK_OK, 6)
+        counters = reg.as_dict()["counters"]
+        assert counters["pool.replace"] >= 1
+        # no serial degradation happened
+        assert counters.get("parallel.fallback", 0) == 0
+
+    def test_parallel_map_salvages_finished_results(self):
+        """A mid-batch casualty must not discard completed siblings: only
+        the failed items re-run (serially, in the driver)."""
+        shutdown_pool()
+        reg = MetricsRegistry()
+        driver = os.getpid()
+        items = [(driver, 1), (driver, -1), (driver, 2), (driver, 3)]
+        results = parallel_map(_exit_if_child, items, max_workers=2,
+                               registry=reg)
+        assert results == [10, -10, 20, 30]
+        counters = reg.as_dict()["counters"]
+        assert counters["parallel.fallback"] == 1
+        assert counters.get("parallel.salvaged", 0) >= 1
+
+    def test_shutdown_pool_idempotent(self):
+        shutdown_pool()
+        shutdown_pool()
+        assert run_tasks(_double, [7], max_workers=2) == [(TASK_OK, 14)]
+
+
+class TestFreshMode:
+    """REPRO_POOL=fresh keeps the legacy pool-per-call executor alive
+    (the benchmark baseline) with identical results."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh(self, monkeypatch):
+        monkeypatch.setenv("REPRO_POOL", "fresh")
+
+    def test_parallel_map_matches(self):
+        items = list(range(8))
+        assert parallel_map(_square, items, max_workers=2) == [
+            x * x for x in items]
+
+    def test_run_tasks_matches(self):
+        assert run_tasks(_double, [1, 2, 3], max_workers=2) == [
+            (TASK_OK, 2), (TASK_OK, 4), (TASK_OK, 6)]
+
+    def test_legacy_salvage_keeps_finished_results(self):
+        """The fresh-mode fallback also reuses futures that completed
+        before the pool broke instead of re-running everything."""
+        reg = MetricsRegistry()
+        driver = os.getpid()
+        items = [(driver, 1), (driver, 2), (driver, -1), (driver, 3)]
+        results = parallel_map(_exit_if_child, items, max_workers=2,
+                               registry=reg)
+        assert results == [10, 20, -10, 30]
+        counters = reg.as_dict()["counters"]
+        assert counters["parallel.fallback"] == 1

@@ -11,11 +11,13 @@ import pytest
 
 from repro.telemetry import MetricsRegistry
 from repro.trace import PackedTrace
+from repro.trace import cache as cache_mod
 from repro.trace.cache import (
     TraceCache,
     cache_enabled,
     cache_root,
     cached_trace,
+    memo_clear,
 )
 from repro.trace.io import (
     PACKED_MAGIC,
@@ -248,3 +250,50 @@ class TestEnvironment:
         assert len(entries) == 1 and entries[0].endswith(".rpt")
         again = cached_trace("twolf", 600)
         assert list(again) == list(first)
+
+
+class TestMemoLRU:
+    """The in-process memo over the disk/shm tiers is a true LRU: hits
+    refresh recency and are counted, inserts past the cap evict the
+    least recently used entry."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_memo(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        memo_clear()
+        yield
+        memo_clear()
+
+    def test_hit_returns_same_object(self):
+        reg = MetricsRegistry()
+        first = cached_trace("twolf", 500, metrics=reg)
+        second = cached_trace("twolf", 500, metrics=reg)
+        assert second is first  # identity, not just equality
+        snap = reg.as_dict()["counters"]
+        assert snap["cache.mem_hit"] == 1
+        # A memo hit still counts as a cache hit for cell telemetry.
+        assert snap["cache.hit"] >= 1
+
+    def test_eviction_is_least_recently_used(self, monkeypatch):
+        monkeypatch.setattr(cache_mod, "_MEM_CAP", 2)
+        reg = MetricsRegistry()
+        a = cached_trace("twolf", 500, metrics=reg)
+        cached_trace("gcc", 500, metrics=reg)
+        # Touch `a`: it becomes most-recent, so the *gcc* entry is evicted.
+        assert cached_trace("twolf", 500, metrics=reg) is a
+        cached_trace("mcf", 500, metrics=reg)
+        snap = reg.as_dict()["counters"]
+        assert snap["cache.mem_evict"] == 1
+        assert cached_trace("twolf", 500, metrics=reg) is a  # survived
+        # gcc fell out of the memo: served again, but from disk (new
+        # object), and its reload evicts the next LRU victim.
+        before = cache_mod._MEM_CACHE.copy()
+        assert ("gcc" not in {k[1] for k in before})
+
+    def test_memo_keyed_by_cache_root(self, monkeypatch, tmp_path):
+        reg = MetricsRegistry()
+        first = cached_trace("twolf", 500, metrics=reg)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "other"))
+        second = cached_trace("twolf", 500, metrics=reg)
+        assert second is not first  # different root, different entry
