@@ -1,0 +1,161 @@
+"""The online prediction plane — serve throughput floor and fidelity.
+
+PR 9 adds ``repro serve``: per-stream predictor state sharded across the
+persistent worker pool, frames from many connections coalesced into one
+pipe round-trip per shard.  Two gates:
+
+* **Batched dispatch ≥ 10x vs naive one-event round-trips.**  The floor
+  compares 64 concurrent closed-loop streams (256-event frames, batched
+  shard dispatch) against the obvious client one would write first: one
+  event per frame, one frame in flight, wait for the reply.  Both sides
+  are measured against the *same* daemon in the same session, so the
+  ratio isolates the batching plane itself.
+* **Serve == batch, bitwise.**  Every predictor family the paper
+  evaluates (last-value, stride, DFCM, gDiff, HGVQ) is streamed through
+  the daemon in small frames with a forced evict → restore cycle in the
+  middle, and the daemon's accumulated ``PredictionStats`` must equal
+  :func:`repro.harness.runner.run_value_prediction` over the identical
+  pair stream — exactly, not approximately.
+
+Measured values land in ``BENCH_metrics.json`` under ``metrics.serve``
+(``_eps`` rates gate lower-is-bad, ``_ms`` latencies higher-is-bad, the
+``_x`` ratio lower-is-bad) so ``repro bench check`` tracks them.
+
+``REPRO_SERVE_BENCH_LENGTH`` shrinks events-per-stream for smoke runs
+(CI uses 400); the 10x floor applies at the full length where per-frame
+costs amortise — short runs assert a conservative sanity ratio.
+"""
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.harness.parallel import shutdown_pool
+from repro.serve.engine import ServeConfig, ServeEngine
+from repro.serve.loadgen import ServeClient, run_loadgen, stream_pairs
+from repro.serve.streams import batch_reference_stats
+from repro.telemetry import MetricsRegistry
+
+LENGTH = int(os.environ.get("REPRO_SERVE_BENCH_LENGTH", "2000"))
+FULL_LENGTH = 2000
+STREAMS = 64
+FRAME_EVENTS = 256
+NAIVE_EVENTS = 400  # one-event round-trips are slow; sample, don't sweep
+
+#: (metric, full-length floor, smoke floor)
+FLOORS = {
+    "batch_vs_naive_x": (10.0, 4.0),
+}
+
+
+def _floor(name):
+    full, smoke = FLOORS[name]
+    return full if LENGTH >= FULL_LENGTH else smoke
+
+
+@pytest.fixture
+def serve_daemon(tmp_path):
+    """A live daemon on an ephemeral port, torn down after the bench."""
+    shutdown_pool()
+    config = ServeConfig(port=0, shards=4, spool=str(tmp_path / "spool"))
+    engine = ServeEngine(config, registry=MetricsRegistry()).start()
+    thread = threading.Thread(target=engine.serve_forever,
+                              kwargs={"poll_s": 0.05}, daemon=True)
+    thread.start()
+    try:
+        yield engine
+    finally:
+        engine.stop()
+        thread.join(timeout=30)
+        shutdown_pool()
+
+
+def bench_serve_throughput_floor(benchmark, record_metrics, serve_daemon):
+    """64 concurrent streams, batched dispatch vs one-event round-trips."""
+    host, port = serve_daemon.address
+
+    # Naive baseline first (cold daemon either way: predictor tables are
+    # per-stream, so neither side warms the other's streams).
+    naive_pairs = stream_pairs(1, NAIVE_EVENTS, ("gcc",))
+    client = ServeClient.connect(host, port)
+    try:
+        sid, pcs, values = naive_pairs[0]
+        start = time.perf_counter()
+        for i in range(len(pcs)):
+            resp = client.predict_train("naive-" + sid, "gdiff32",
+                                        pcs[i:i + 1], values[i:i + 1])
+            assert resp.status == 0, resp.error
+        naive_s = time.perf_counter() - start
+    finally:
+        client.close()
+    naive_eps = len(pcs) / naive_s
+
+    report = run_loadgen(host, port, streams=STREAMS,
+                         events_per_stream=LENGTH,
+                         frame_events=FRAME_EVENTS, predictor="gdiff32")
+    assert report["errors"] == 0, report
+    assert report["events_applied"] == STREAMS * LENGTH
+    eps = report["events_eps"]
+    ratio = eps / naive_eps
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    print(f"\nserve plane: naive 1-event RTT {naive_eps:,.0f} events/s, "
+          f"{STREAMS} batched streams {eps:,.0f} events/s — "
+          f"{ratio:.1f}x (p50 {report['p50_ms']:.2f} ms, "
+          f"p99 {report['p99_ms']:.2f} ms)")
+    record_metrics("serve",
+                   naive_rtt_eps=naive_eps,
+                   closed_64stream_eps=eps,
+                   batch_vs_naive_x=ratio,
+                   closed_p50_ms=report["p50_ms"],
+                   closed_p99_ms=report["p99_ms"])
+    floor = _floor("batch_vs_naive_x")
+    assert ratio >= floor, (
+        f"batched serve {eps:,.0f} events/s is only {ratio:.2f}x the "
+        f"naive round-trip baseline {naive_eps:,.0f} events/s "
+        f"(floor {floor}x at {LENGTH} events/stream)")
+
+
+def bench_serve_bit_identity(benchmark, record_metrics, serve_daemon):
+    """Serve == batch for every predictor family, across evict/restore."""
+    host, port = serve_daemon.address
+    events = min(LENGTH, 1200)
+    frame = 97  # deliberately unaligned frame size
+    specs = [("last-value", False), ("stride", False), ("dfcm", False),
+             ("gdiff8", False), ("gdiff32", False), ("gdiff32", True),
+             ("hgvq", False)]
+    (_sid, pcs, values), = stream_pairs(1, events, ("gcc",))
+
+    client = ServeClient.connect(host, port)
+    checked = 0
+    try:
+        for spec, gated in specs:
+            sid = f"bit-{spec}{'-g' if gated else ''}"
+            offsets = list(range(0, events, frame))
+            for n, off in enumerate(offsets):
+                resp = client.predict_train(
+                    sid, spec, pcs[off:off + frame],
+                    values[off:off + frame], gated=gated)
+                assert resp.status == 0, (spec, resp.error)
+                # Force the evict → snapshot → restore cycle mid-stream.
+                if n == len(offsets) // 2:
+                    evicted = client.evict(sid)
+                    assert evicted.status == 0 and evicted.nbytes > 0
+            stats = client.stats(sid)
+            assert stats.status == 0 and stats.resident
+            expect = batch_reference_stats(spec, gated, pcs, values)
+            got = stats.stats
+            want = (expect.attempts, expect.predictions, expect.correct,
+                    expect.confident, expect.confident_correct)
+            assert got == want, (
+                f"{sid}: serve stats {got} != batch harness {want}")
+            checked += 1
+    finally:
+        client.close()
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print(f"\nserve fidelity: {checked} predictor configs bit-identical "
+          f"across an evict/restore cycle ({events} events each)")
+    record_metrics("serve", bit_identical_configs=checked)
+    assert checked == len(specs)

@@ -1,0 +1,110 @@
+"""CI smoke for the online prediction plane (docs/SERVING.md).
+
+Runs the full operator loop against a real daemon subprocess:
+
+1. start ``repro serve`` on an ephemeral port and wait for its ready line;
+2. drive it with a bounded closed-loop ``repro loadgen --verify`` — the
+   verify pass replays every stream through the batch harness and fails
+   on any non-bit-identical ``PredictionStats``;
+3. SIGTERM the daemon and assert a clean exit;
+4. assert nothing leaked: no orphan worker processes in the daemon's
+   process group, and no shared-memory segments left in ``/dev/shm``.
+
+Exit code 0 means the whole loop held.  Usable locally too:
+``python scripts/serve_smoke.py``.
+"""
+
+import glob
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+
+STREAMS = int(os.environ.get("SERVE_SMOKE_STREAMS", "16"))
+EVENTS = int(os.environ.get("SERVE_SMOKE_EVENTS", "400"))
+
+
+def shm_segments():
+    return sorted(glob.glob("/dev/shm/repro*") + glob.glob("/dev/shm/psm_*"))
+
+
+def main() -> int:
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+    if os.path.isdir(src):
+        env["PYTHONPATH"] = os.pathsep.join(
+            [src] + env.get("PYTHONPATH", "").split(os.pathsep))
+    shm_before = shm_segments()
+
+    serve = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--shards", "2"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=env, start_new_session=True)
+    try:
+        ready = serve.stdout.readline()
+        print("daemon:", ready.strip())
+        match = re.search(r":(\d+) \(", ready)
+        if not match:
+            print("FAIL: no ready line from the daemon")
+            return 1
+        port = int(match.group(1))
+
+        load = subprocess.run(
+            [sys.executable, "-m", "repro", "loadgen", "--port", str(port),
+             "--streams", str(STREAMS), "--events", str(EVENTS),
+             "--frame-events", "128", "--predictor", "gdiff32",
+             "--verify"],
+            capture_output=True, text=True, env=env, timeout=600)
+        sys.stdout.write(load.stdout)
+        sys.stderr.write(load.stderr)
+        if load.returncode != 0:
+            print(f"FAIL: loadgen exited {load.returncode}")
+            return 1
+        if f"verify: {STREAMS}/{STREAMS} streams bit-identical" \
+                not in load.stdout:
+            print("FAIL: bit-identity verification did not pass")
+            return 1
+
+        serve.send_signal(signal.SIGTERM)
+        code = serve.wait(timeout=60)
+        if code != 0:
+            print(f"FAIL: daemon exited {code} on SIGTERM")
+            return 1
+    finally:
+        if serve.poll() is None:
+            serve.kill()
+            serve.wait(timeout=10)
+
+    # No orphan workers: every process in the daemon's session is gone.
+    deadline = time.time() + 15
+    pgid = serve.pid  # start_new_session: the daemon led its own group
+    while time.time() < deadline:
+        try:
+            os.killpg(pgid, 0)
+        except ProcessLookupError:
+            break
+        time.sleep(0.2)
+    else:
+        print(f"FAIL: orphan processes remain in process group {pgid}")
+        try:
+            os.killpg(pgid, signal.SIGKILL)
+        except ProcessLookupError:
+            pass
+        return 1
+
+    leaked = [s for s in shm_segments() if s not in shm_before]
+    if leaked:
+        print(f"FAIL: leaked shared-memory segments: {leaked}")
+        return 1
+
+    print(f"serve smoke ok: {STREAMS} streams x {EVENTS} events, "
+          "bit-identical, clean shutdown, no orphans, no shm leaks")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -100,10 +100,22 @@ def load_history(path: Union[str, Path] = DEFAULT_HISTORY_PATH
 
 
 def metric_direction(name: str) -> str:
-    """Which way a metric regresses, inferred from its name."""
+    """Which way a metric regresses, inferred from its name.
+
+    Throughput rates (``_eps`` events/s, ``_qps`` queries/s) regress when
+    they shrink; latency quantiles (``_p50``/``_p90``/``_p99``, however
+    they are unit-suffixed) and wall times regress when they grow.  The
+    rate check precedes the ``_s`` suffix check so a rate never reads as
+    a duration.
+    """
     if name.startswith("bench:") or name == "total_wall_s":
         return DIRECTION_HIGHER_BAD
     key = name.rsplit(".", 1)[-1]
+    if key.endswith("_eps") or key.endswith("_qps"):
+        return DIRECTION_LOWER_BAD
+    if key.endswith(("_p50", "_p90", "_p99")) \
+            or any(f"_p{q}_" in key for q in (50, 90, 99)):
+        return DIRECTION_HIGHER_BAD
     if key.endswith("_s") or key.endswith("_ms"):
         return DIRECTION_HIGHER_BAD
     if key.endswith("_x") or "speedup" in key:

@@ -26,6 +26,14 @@ Subcommands:
 * ``repro bench history|check`` — the benchmark suite's perf trajectory
   (``benchmarks/results/history.jsonl``) and its regression gate
   (docs/OBSERVABILITY.md).
+* ``repro serve [--port P] [--shards N] [--stdio] [--backend b]`` — the
+  long-lived online prediction daemon: sharded per-stream predictor
+  state on warm pool workers, batched dispatch, LRU eviction with
+  transparent restore (docs/SERVING.md).
+* ``repro loadgen [--streams N] [--events N] [--mode closed|open]
+  [--verify]`` — drive a running daemon with N concurrent streams and
+  report QPS and latency percentiles; ``--verify`` replays every stream
+  through the batch harness and checks bit-identical PredictionStats.
 
 Every subcommand accepts the shared telemetry flags (docs/TELEMETRY.md):
 ``--metrics-out FILE`` writes a JSON run manifest (``-`` streams it to
@@ -632,6 +640,82 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0 if ok else 2
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve`` — the long-lived online prediction daemon."""
+    from .serve.engine import ServeConfig, default_spool, run_serve
+
+    tele = _Telemetry(args, "serve")
+    config = ServeConfig(
+        host=args.host,
+        port=None if args.stdio else args.port,
+        stdio=args.stdio,
+        shards=args.shards,
+        max_streams=args.max_streams,
+        high_water=args.high_water,
+        batch_events=args.batch_events,
+        backend=args.backend,
+        spool=args.spool or default_spool(),
+    )
+    engine = run_serve(config, registry=tele.registry, announce=tele.human)
+    tele.add("serve", engine.daemon_stats())
+    tele.finish()
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    """``repro loadgen`` — drive a running daemon, report QPS/latency."""
+    from .serve.loadgen import DEFAULT_WORKLOADS, run_loadgen
+
+    tele = _Telemetry(args, "loadgen")
+    out = tele.human
+    workloads = (tuple(b.strip() for b in args.bench.split(",") if b.strip())
+                 if args.bench else DEFAULT_WORKLOADS)
+    try:
+        report = run_loadgen(
+            args.host, args.port,
+            streams=args.streams,
+            events_per_stream=args.events,
+            frame_events=args.frame_events,
+            predictor=args.predictor,
+            gated=args.gated,
+            mode=args.mode,
+            rate=args.rate,
+            workloads=workloads,
+            verify=args.verify,
+            timeout=args.timeout,
+        )
+    except (ConnectionError, OSError) as exc:
+        raise SystemExit(f"loadgen: cannot reach {args.host}:{args.port} "
+                         f"({exc})")
+    print(f"loadgen [{report['mode']}]: {report['streams']} streams x "
+          f"{args.events} events ({report['predictor']}"
+          f"{', gated' if report['gated'] else ''})", file=out)
+    print(f"  applied {report['events_applied']}/"
+          f"{report['events_offered']} events in "
+          f"{report['wall_s']:.2f}s -> {report['events_eps']:,.0f} "
+          "events/s", file=out)
+    print(f"  frames {report['frames']}, busy {report['busy']}, "
+          f"errors {report['errors']}", file=out)
+    print(f"  latency p50 {report['p50_ms']:.2f} ms / "
+          f"p90 {report['p90_ms']:.2f} ms / "
+          f"p99 {report['p99_ms']:.2f} ms", file=out)
+    exit_code = 0
+    verify = report.get("verify")
+    if verify is not None:
+        print(f"  verify: {verify['matched']}/{verify['checked']} streams "
+              "bit-identical to the batch harness", file=out)
+        for miss in verify["mismatches"]:
+            print(f"    mismatch {miss['stream']}: serve={miss['serve']} "
+                  f"batch={miss['batch']}", file=out)
+        if verify["matched"] != verify["checked"]:
+            exit_code = 2
+    if report["errors"]:
+        exit_code = exit_code or 2
+    tele.add("loadgen", report)
+    tele.finish()
+    return exit_code
+
+
 def cmd_campaign(args: argparse.Namespace) -> int:
     from .campaign import (
         CampaignScheduler,
@@ -956,6 +1040,77 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="RATIO",
                          help="speedups may shrink to RATIO x baseline "
                               "before failing (default 0.6)")
+
+    from .serve.engine import (
+        DEFAULT_BATCH_EVENTS,
+        DEFAULT_HIGH_WATER,
+        DEFAULT_PORT,
+        DEFAULT_SHARDS,
+    )
+
+    p_serve = sub.add_parser("serve", parents=[telemetry],
+                             help="online prediction daemon "
+                                  "(docs/SERVING.md)")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=DEFAULT_PORT,
+                         help=f"listen port; 0 = ephemeral "
+                              f"(default {DEFAULT_PORT})")
+    p_serve.add_argument("--stdio", action="store_true",
+                         help="speak frames on stdin/stdout instead of a "
+                              "socket (for subprocess embedding)")
+    p_serve.add_argument("--shards", type=int, default=DEFAULT_SHARDS,
+                         help="predictor shards = pinned pool workers "
+                              f"(default {DEFAULT_SHARDS})")
+    p_serve.add_argument("--max-streams", type=int, default=0,
+                         metavar="N",
+                         help="resident streams per shard before LRU "
+                              "eviction to snapshots (0 = default)")
+    p_serve.add_argument("--high-water", type=int,
+                         default=DEFAULT_HIGH_WATER, metavar="FRAMES",
+                         help="queued frames per shard before BUSY "
+                              f"(default {DEFAULT_HIGH_WATER})")
+    p_serve.add_argument("--batch-events", type=int,
+                         default=DEFAULT_BATCH_EVENTS, metavar="EVENTS",
+                         help="events coalesced per shard dispatch "
+                              f"(default {DEFAULT_BATCH_EVENTS})")
+    p_serve.add_argument("--backend", choices=("pool", "inproc"),
+                         default="pool",
+                         help="pool = sharded worker processes (default); "
+                              "inproc = single-process, for debugging")
+    p_serve.add_argument("--spool", help="snapshot spool directory for "
+                                         "evicted streams")
+
+    p_load = sub.add_parser("loadgen", parents=[telemetry],
+                            help="drive a running daemon; report QPS and "
+                                 "latency percentiles")
+    p_load.add_argument("--host", default="127.0.0.1")
+    p_load.add_argument("--port", type=int, default=DEFAULT_PORT)
+    p_load.add_argument("--streams", type=int, default=64,
+                        help="concurrent streams (default 64)")
+    p_load.add_argument("--events", type=int, default=2000,
+                        help="events per stream (default 2000)")
+    p_load.add_argument("--frame-events", type=int, default=256,
+                        help="events per frame (default 256)")
+    p_load.add_argument("--predictor", default="gdiff32",
+                        help="per-stream predictor spec (default gdiff32)")
+    p_load.add_argument("--gated", action="store_true",
+                        help="apply the 3-bit confidence gate")
+    p_load.add_argument("--mode", choices=("closed", "open"),
+                        default="closed",
+                        help="closed = one frame in flight per stream "
+                             "(default); open = fixed offered rate")
+    p_load.add_argument("--rate", type=float, default=None,
+                        metavar="EVENTS_PER_S",
+                        help="offered rate for --mode open")
+    p_load.add_argument("--bench", help="comma-separated workload subset "
+                                        "for stream content")
+    p_load.add_argument("--verify", action="store_true",
+                        help="after the run, check every stream's stats "
+                             "are bit-identical to the batch harness "
+                             "(closed mode)")
+    p_load.add_argument("--timeout", type=float, default=120.0,
+                        help="socket timeout in seconds (default 120)")
     return parser
 
 
@@ -973,6 +1128,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "cache": cmd_cache,
         "campaign": cmd_campaign,
         "bench": cmd_bench,
+        "serve": cmd_serve,
+        "loadgen": cmd_loadgen,
     }
     try:
         return handlers[args.command](args)

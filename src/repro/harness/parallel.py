@@ -36,6 +36,8 @@ import atexit
 import multiprocessing
 import os
 import pickle
+import threading
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from multiprocessing.connection import wait as _connection_wait
@@ -76,6 +78,23 @@ def pool_mode() -> str:
     """``persistent`` (default) or ``fresh`` (legacy pool-per-call)."""
     mode = os.environ.get("REPRO_POOL", "persistent").strip().lower()
     return mode if mode in ("persistent", "fresh") else "persistent"
+
+
+def pool_idle_timeout() -> Optional[float]:
+    """Idle-worker reap threshold in seconds (``REPRO_POOL_IDLE_S``).
+
+    ``None`` (unset, unparsable, or non-positive) disables reaping — the
+    historical behaviour, where a pool that served a burst pins its
+    workers until process exit.
+    """
+    raw = os.environ.get("REPRO_POOL_IDLE_S", "").strip()
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
 
 
 def _count(registry: Optional[MetricsRegistry], name: str,
@@ -204,7 +223,8 @@ def _pool_worker_main(conn) -> None:  # pragma: no cover - subprocess body
 class _Worker:
     """One persistent worker process plus its driver-side pipe end."""
 
-    __slots__ = ("proc", "conn", "inflight", "shm_version")
+    __slots__ = ("proc", "conn", "inflight", "shm_version", "last_used",
+                 "pinned", "setup_sig")
 
     def __init__(self, ctx) -> None:
         driver_end, worker_end = ctx.Pipe(duplex=True)
@@ -215,6 +235,14 @@ class _Worker:
         self.conn = driver_end
         self.inflight: List[int] = []
         self.shm_version = -1
+        self.last_used = time.monotonic()
+        #: Pinned workers host shard-affine state (the serve plane) and
+        #: are exempt from idle reaping — their residency is bounded by
+        #: the shard's own LRU stream manager, not by pool pressure.
+        self.pinned = False
+        #: Signature of the last ("setup", ...) envelope shipped, so the
+        #: sharded dispatch path can skip redundant env re-syncs.
+        self.setup_sig: Optional[Tuple] = None
 
 
 class WorkerPool:
@@ -232,6 +260,10 @@ class WorkerPool:
         self._ctx = multiprocessing.get_context()
         self._workers: List[_Worker] = []
         self._closed = False
+        # Guards worker-list mutation against the reap timer and against
+        # concurrent shutdown_pool callers (atexit + signal handler).
+        self._lock = threading.RLock()
+        self._reap_timer: Optional[threading.Timer] = None
 
     # -- lifecycle --------------------------------------------------------
     @property
@@ -253,16 +285,40 @@ class WorkerPool:
         payload = handles if worker.shm_version != version else None
         worker.conn.send(("setup", env, payload))
         worker.shm_version = version
+        worker.setup_sig = (version, tuple(sorted(env.items())))
+
+    @staticmethod
+    def _stop_worker(worker: _Worker) -> None:
+        """Stop one worker (graceful, then terminate a straggler)."""
+        try:
+            worker.conn.send(("stop",))
+        except Exception:
+            pass
+        worker.proc.join(timeout=2)
+        if worker.proc.is_alive():  # pragma: no cover - stuck worker
+            worker.proc.terminate()
+            worker.proc.join(timeout=2)
+        try:
+            worker.conn.close()
+        except Exception:
+            pass
 
     def close(self) -> None:
-        """Stop every worker (graceful, then terminate stragglers)."""
-        self._closed = True
-        for worker in self._workers:
+        """Stop every worker; safe to call repeatedly or concurrently."""
+        with self._lock:
+            if self._closed and not self._workers:
+                return
+            self._closed = True
+            if self._reap_timer is not None:
+                self._reap_timer.cancel()
+                self._reap_timer = None
+            workers, self._workers = list(self._workers), []
+        for worker in workers:
             try:
                 worker.conn.send(("stop",))
             except Exception:
                 pass
-        for worker in self._workers:
+        for worker in workers:
             worker.proc.join(timeout=2)
             if worker.proc.is_alive():  # pragma: no cover - stuck worker
                 worker.proc.terminate()
@@ -271,7 +327,59 @@ class WorkerPool:
                 worker.conn.close()
             except Exception:
                 pass
-        self._workers.clear()
+
+    # -- idle reaping -----------------------------------------------------
+    def reap_idle(self, registry: Optional[MetricsRegistry] = None,
+                  timeout: Optional[float] = None) -> int:
+        """Stop workers idle past the ``REPRO_POOL_IDLE_S`` threshold.
+
+        Workers with in-flight tasks and pinned (shard-hosting) workers
+        are never reaped.  Returns the number of workers stopped
+        (``pool.reaped`` on *registry*).
+        """
+        if timeout is None:
+            timeout = pool_idle_timeout()
+        if timeout is None:
+            return 0
+        now = time.monotonic()
+        victims: List[_Worker] = []
+        with self._lock:
+            if self._closed:
+                return 0
+            for worker in list(self._workers):
+                if worker.inflight or worker.pinned:
+                    continue
+                if now - worker.last_used < timeout:
+                    continue
+                self._workers.remove(worker)
+                victims.append(worker)
+        for worker in victims:
+            self._stop_worker(worker)
+        _count(registry, "pool.reaped", len(victims))
+        return len(victims)
+
+    def _schedule_reap(self) -> None:
+        """Arm a daemonic timer to shrink the pool after the idle window
+        (no-op when reaping is disabled or a timer is already armed)."""
+        timeout = pool_idle_timeout()
+        if timeout is None:
+            return
+        with self._lock:
+            if self._closed or self._reap_timer is not None:
+                return
+            timer = threading.Timer(timeout + 0.05, self._reap_tick)
+            timer.daemon = True
+            self._reap_timer = timer
+            timer.start()
+
+    def _reap_tick(self) -> None:
+        with self._lock:
+            self._reap_timer = None
+        self.reap_idle()
+        with self._lock:
+            rearm = bool(self._workers) and not self._closed
+        if rearm:
+            self._schedule_reap()
 
     # -- dispatch ---------------------------------------------------------
     def map_outcomes(
@@ -321,6 +429,7 @@ class WorkerPool:
         def handle(worker: _Worker, msg: Tuple) -> None:
             kind, tid, payload = msg
             worker.inflight.remove(tid)
+            worker.last_used = time.monotonic()
             resolve(tid, ("ok" if kind == "ok" else "raise", payload))
 
         def reap(worker: _Worker) -> None:
@@ -376,6 +485,7 @@ class WorkerPool:
                 reap(worker)
             else:
                 worker.inflight.extend(take)
+                worker.last_used = time.monotonic()
                 _count(registry, "pool.batches")
                 _count(registry, "pool.tasks", len(take))
 
@@ -424,15 +534,120 @@ class WorkerPool:
 
         if registry is not None:
             registry.gauge("pool.workers").set(len(self._workers))
+        self._schedule_reap()
         if send_error is not None:
             raise send_error
         return [outcome or ("crash", "task never completed")
                 for outcome in outcomes]
 
+    # -- sharded dispatch (the serve plane) -------------------------------
+    def shard_workers(self, count: int,
+                      registry: Optional[MetricsRegistry] = None) -> int:
+        """Ensure *count* workers exist and pin the first *count*.
+
+        Pinned workers host shard-affine stream state for
+        :mod:`repro.serve`: shard *i* always dispatches to worker *i*, so
+        those workers must neither be idle-reaped nor have their list
+        positions shift underneath the shard map.  Returns *count*.
+        """
+        with self._lock:
+            if self._closed:
+                raise BrokenProcessPool("worker pool is shut down")
+            while len(self._workers) < count:
+                self._spawn(registry)
+            for worker in self._workers[:count]:
+                worker.pinned = True
+        return count
+
+    def shard_unpin(self) -> None:
+        """Release every pin (a serve engine shutting down)."""
+        with self._lock:
+            for worker in self._workers:
+                worker.pinned = False
+        self._schedule_reap()
+
+    def _shard_worker(self, index: int) -> _Worker:
+        worker = self._workers[index]
+        if not worker.pinned:
+            raise BrokenProcessPool(
+                f"shard {index} is not pinned (call shard_workers first)")
+        return worker
+
+    def shard_send(self, index: int, fn: Callable[[Any], Any],
+                   tag: int, item: Any,
+                   registry: Optional[MetricsRegistry] = None) -> None:
+        """Send one tagged batch to the pinned worker *index*.
+
+        Re-ships the ("setup", env, handles) envelope only when the
+        driver's ``REPRO_*`` environment or the shm handle table changed
+        since this worker's last dispatch — the steady-state serve path
+        pays one pipe write per batch.  Raises ``OSError`` when the
+        worker's pipe is gone (caller reaps via :meth:`shard_replace`).
+        """
+        worker = self._shard_worker(index)
+        env = {k: v for k, v in os.environ.items()
+               if k.startswith(_ENV_PREFIX)}
+        version, handles = shm.current_table()
+        sig = (version, tuple(sorted(env.items())))
+        if worker.setup_sig != sig:
+            self._setup(worker, version, handles, env)
+        worker.conn.send(("batch", fn, [(tag, item)]))
+        worker.inflight.append(tag)
+        worker.last_used = time.monotonic()
+        _count(registry, "pool.batches")
+
+    def shard_recv(self, index: int) -> Tuple[str, int, Any]:
+        """Receive one ``(kind, tag, payload)`` reply from worker *index*.
+
+        Blocks until a reply is available (callers multiplex readiness
+        over :meth:`shard_conn` / :meth:`shard_sentinel` first).  Raises
+        ``EOFError``/``OSError`` when the worker died.
+        """
+        worker = self._shard_worker(index)
+        kind, tag, payload = worker.conn.recv()
+        if tag in worker.inflight:
+            worker.inflight.remove(tag)
+        worker.last_used = time.monotonic()
+        return kind, tag, payload
+
+    def shard_conn(self, index: int):
+        """Driver-side pipe end for shard *index* (for selectors)."""
+        return self._shard_worker(index).conn
+
+    def shard_sentinel(self, index: int):
+        """Process sentinel fd for shard *index* (readable on death)."""
+        return self._shard_worker(index).proc.sentinel
+
+    def shard_replace(self, index: int,
+                      registry: Optional[MetricsRegistry] = None
+                      ) -> List[int]:
+        """Replace a dead shard worker in place.
+
+        Returns the tags that were in flight on the casualty (their
+        frames must be failed by the caller — the replacement worker
+        starts with no stream state and restores from snapshots on
+        demand).
+        """
+        with self._lock:
+            worker = self._workers[index]
+            lost = list(worker.inflight)
+            worker.inflight.clear()
+        self._stop_worker(worker)
+        with self._lock:
+            if self._closed:
+                raise BrokenProcessPool("worker pool is shut down")
+            replacement = _Worker(self._ctx)
+            replacement.pinned = True
+            self._workers[index] = replacement
+        _count(registry, "pool.spawn")
+        _count(registry, "pool.replace")
+        return lost
+
 
 _POOL: Optional[WorkerPool] = None
 _POOL_PID: Optional[int] = None
 _ATEXIT_REGISTERED = False
+_POOL_LOCK = threading.Lock()
 
 
 def get_pool(registry: Optional[MetricsRegistry] = None) -> WorkerPool:
@@ -443,22 +658,31 @@ def get_pool(registry: Optional[MetricsRegistry] = None) -> WorkerPool:
     one.  Forked children never inherit a usable pool (pid guard).
     """
     global _POOL, _POOL_PID, _ATEXIT_REGISTERED
-    if _POOL is None or _POOL.closed or _POOL_PID != os.getpid():
-        _POOL = WorkerPool()
-        _POOL_PID = os.getpid()
-        _count(registry, "pool.created")
-        if not _ATEXIT_REGISTERED:
-            atexit.register(shutdown_pool)
-            _ATEXIT_REGISTERED = True
-    return _POOL
+    with _POOL_LOCK:
+        if _POOL is None or _POOL.closed or _POOL_PID != os.getpid():
+            _POOL = WorkerPool()
+            _POOL_PID = os.getpid()
+            _count(registry, "pool.created")
+            if not _ATEXIT_REGISTERED:
+                atexit.register(shutdown_pool)
+                _ATEXIT_REGISTERED = True
+        return _POOL
 
 
 def shutdown_pool() -> None:
-    """Stop the persistent pool's workers (driver exit / test teardown)."""
+    """Stop the persistent pool's workers (driver exit / test teardown).
+
+    Idempotent and safe under concurrent callers: atexit, a signal
+    handler, and test teardown can all race it — exactly one caller wins
+    the pool and closes it (``WorkerPool.close`` is itself re-entrant),
+    the rest are no-ops.
+    """
     global _POOL
-    if _POOL is not None and _POOL_PID == os.getpid():
-        _POOL.close()
-    _POOL = None
+    with _POOL_LOCK:
+        pool, pid = _POOL, _POOL_PID
+        _POOL = None
+    if pool is not None and pid == os.getpid():
+        pool.close()
 
 
 # ---------------------------------------------------------------------------

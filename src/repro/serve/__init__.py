@@ -1,0 +1,44 @@
+"""The online prediction plane: a sharded, batched ``repro serve`` daemon.
+
+Modules:
+
+* :mod:`~repro.serve.protocol` — the length-prefixed binary frame
+  protocol (PREDICT / TRAIN / PREDICT_TRAIN / SNAPSHOT / EVICT / STATS).
+* :mod:`~repro.serve.snapshot` — CRC-framed predictor-state snapshots
+  for evicted streams.
+* :mod:`~repro.serve.streams` — per-stream predictor records and the
+  LRU :class:`~repro.serve.streams.StreamManager`.
+* :mod:`~repro.serve.shard` — the worker-side batch servant.
+* :mod:`~repro.serve.engine` — the selectors event loop, shard
+  dispatcher, and backpressure.
+* :mod:`~repro.serve.loadgen` — the client and the ``repro loadgen``
+  open/closed-loop load generator.
+
+See docs/SERVING.md for the protocol spec and operational contract.
+"""
+
+from .engine import ServeConfig, ServeEngine, run_serve, shard_of
+from .loadgen import ServeClient, run_loadgen, stream_pairs
+from .protocol import (
+    OP_EVICT,
+    OP_PREDICT,
+    OP_PREDICT_TRAIN,
+    OP_SNAPSHOT,
+    OP_STATS,
+    OP_TRAIN,
+    PROTOCOL_VERSION,
+    STATUS_BUSY,
+    STATUS_ERROR,
+    STATUS_OK,
+    ProtocolError,
+)
+from .streams import SERVE_PREDICTORS, StreamManager, batch_reference_stats
+
+__all__ = [
+    "OP_EVICT", "OP_PREDICT", "OP_PREDICT_TRAIN", "OP_SNAPSHOT",
+    "OP_STATS", "OP_TRAIN", "PROTOCOL_VERSION", "STATUS_BUSY",
+    "STATUS_ERROR", "STATUS_OK", "ProtocolError", "SERVE_PREDICTORS",
+    "ServeClient", "ServeConfig", "ServeEngine", "StreamManager",
+    "batch_reference_stats", "run_loadgen", "run_serve", "shard_of",
+    "stream_pairs",
+]

@@ -1,0 +1,390 @@
+"""``repro loadgen``: drive a serve daemon with N concurrent streams.
+
+The generator models the deployment shape the serve plane is built for:
+many independent value streams, each strictly ordered, all in flight at
+once.  Per stream it holds **at most one frame outstanding** — that is
+what guarantees a stream's events reach its shard in order (the ordering
+the bit-identity contract needs) — while concurrency comes from the
+stream count: with 64 streams there are up to 64 frames in flight,
+which is what keeps every shard's coalescing window full.
+
+Two pacing modes:
+
+* **closed-loop** (default): each stream sends its next frame the moment
+  the previous one is answered; a ``BUSY`` reply re-sends the same frame
+  (the daemon did not apply it, so the retry is exact).  Measures
+  saturated throughput.
+* **open-loop**: frames are offered on a fixed events/s schedule
+  regardless of replies; ``BUSY`` frames are counted and *dropped*.
+  Measures behaviour under a fixed offered load, including loss.
+
+Stream payloads come from the packed workload traces (one workload per
+stream, round-robin over the paper's benchmark list, each stream reading
+a different window of the pair columns), so the values exercised are the
+same distributions every other figure uses.  ``verify=True`` replays
+every stream through the *batch* harness afterwards and compares
+``PredictionStats`` — the serve-vs-batch identity check, run over the
+wire.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from array import array
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .protocol import (
+    OP_EVICT,
+    OP_PREDICT,
+    OP_PREDICT_TRAIN,
+    OP_SNAPSHOT,
+    OP_STATS,
+    OP_TRAIN,
+    FLAG_GATED,
+    FLAG_WANT_VALUES,
+    STATUS_BUSY,
+    STATUS_OK,
+    FrameReader,
+    ProtocolError,
+    Response,
+    decode_response,
+    encode_request,
+)
+from .streams import batch_reference_stats
+
+#: The paper's benchmark list (mirrors ``repro.cli.BENCHMARKS``) —
+#: loadgen streams cycle over these workloads.
+DEFAULT_WORKLOADS = ("bzip2", "gap", "gcc", "gzip", "mcf", "parser",
+                     "perl", "twolf", "vortex", "vpr")
+
+
+class ServeClient:
+    """Blocking request/response client for one daemon connection."""
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._reader = FrameReader()
+        self._frames: List[bytes] = []
+
+    @classmethod
+    def connect(cls, host: str, port: int,
+                timeout: float = 30.0) -> "ServeClient":
+        sock = socket.create_connection((host, port), timeout=timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return cls(sock)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- raw pipelined I/O -------------------------------------------------
+    def send(self, op: int, req_id: int, stream_id: str = "",
+             predictor: str = "", gated: bool = False,
+             want_values: bool = False, pcs=(), values=()) -> None:
+        flags = (FLAG_GATED if gated else 0) \
+            | (FLAG_WANT_VALUES if want_values else 0)
+        self._sock.sendall(encode_request(op, req_id, stream_id, predictor,
+                                          flags, pcs, values))
+
+    def recv(self) -> Response:
+        while not self._frames:
+            data = self._sock.recv(1 << 18)
+            if not data:
+                raise ProtocolError("connection closed mid-exchange")
+            self._frames.extend(self._reader.feed(data))
+        return decode_response(self._frames.pop(0))
+
+    # -- one-shot convenience ----------------------------------------------
+    def request(self, op: int, stream_id: str = "", predictor: str = "",
+                gated: bool = False, want_values: bool = False,
+                pcs=(), values=(), req_id: int = 0,
+                busy_retries: int = 100) -> Response:
+        """One synchronous round trip, transparently retrying BUSY."""
+        for _attempt in range(busy_retries + 1):
+            self.send(op, req_id, stream_id, predictor, gated,
+                      want_values, pcs, values)
+            resp = self.recv()
+            if resp.status != STATUS_BUSY:
+                return resp
+            time.sleep(0.002)
+        return resp
+
+    # -- op sugar (used by tests and the bench) ------------------------------
+    def predict_train(self, stream_id: str, predictor: str, pcs, values,
+                      gated: bool = False,
+                      want_values: bool = False) -> Response:
+        return self.request(OP_PREDICT_TRAIN, stream_id, predictor,
+                            gated=gated, want_values=want_values,
+                            pcs=pcs, values=values)
+
+    def predict(self, stream_id: str, predictor: str, pcs) -> Response:
+        return self.request(OP_PREDICT, stream_id, predictor, pcs=pcs)
+
+    def train(self, stream_id: str, predictor: str, pcs, values) -> Response:
+        return self.request(OP_TRAIN, stream_id, predictor,
+                            pcs=pcs, values=values)
+
+    def stats(self, stream_id: str = "") -> Response:
+        return self.request(OP_STATS, stream_id)
+
+    def snapshot(self, stream_id: str) -> Response:
+        return self.request(OP_SNAPSHOT, stream_id)
+
+    def evict(self, stream_id: str) -> Response:
+        return self.request(OP_EVICT, stream_id)
+
+
+# ---------------------------------------------------------------------------
+# Stream payloads
+# ---------------------------------------------------------------------------
+def stream_pairs(streams: int, per_stream: int,
+                 workloads: Sequence[str] = DEFAULT_WORKLOADS,
+                 length: Optional[int] = None,
+                 ) -> List[Tuple[str, array, array]]:
+    """Build ``(stream_id, pcs, values)`` payloads for *streams* streams.
+
+    Stream *i* draws from workload ``workloads[i % len]``, reading a
+    window of the trace's value pairs offset by a per-stream stride so
+    no two streams of one workload replay the same window aligned.
+    """
+    from ..trace.cache import cached_trace
+
+    if length is None:
+        length = max(20000, per_stream * 3)
+    columns: Dict[str, Tuple[array, array]] = {}
+    for name in set(workloads[:streams] if streams < len(workloads)
+                    else workloads):
+        columns[name] = cached_trace(name, length).value_pairs()
+    out: List[Tuple[str, array, array]] = []
+    for i in range(streams):
+        name = workloads[i % len(workloads)]
+        pcs, values = columns[name]
+        n = len(pcs)
+        if n == 0:
+            raise ValueError(f"workload {name} produced no value pairs")
+        start = (i * 7919) % n
+        take_pcs = array("Q")
+        take_values = array("Q")
+        while len(take_pcs) < per_stream:
+            end = min(n, start + per_stream - len(take_pcs))
+            take_pcs.extend(pcs[start:end])
+            take_values.extend(values[start:end])
+            start = 0
+        out.append((f"lg-{i:04d}-{name}", take_pcs, take_values))
+    return out
+
+
+def _percentiles(samples: List[float]) -> Dict[str, float]:
+    if not samples:
+        return {"p50_ms": 0.0, "p90_ms": 0.0, "p99_ms": 0.0}
+    ordered = sorted(samples)
+
+    def pct(q: float) -> float:
+        return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+    return {"p50_ms": round(pct(0.50), 4), "p90_ms": round(pct(0.90), 4),
+            "p99_ms": round(pct(0.99), 4)}
+
+
+# ---------------------------------------------------------------------------
+# The generator
+# ---------------------------------------------------------------------------
+def run_loadgen(host: str, port: int, *,
+                streams: int = 64,
+                events_per_stream: int = 2000,
+                frame_events: int = 256,
+                predictor: str = "gdiff32",
+                gated: bool = False,
+                mode: str = "closed",
+                rate: Optional[float] = None,
+                workloads: Sequence[str] = DEFAULT_WORKLOADS,
+                verify: bool = False,
+                timeout: float = 120.0) -> Dict[str, Any]:
+    """Drive the daemon and return a QPS / latency-percentile report."""
+    if mode not in ("closed", "open"):
+        raise ValueError("mode must be 'closed' or 'open'")
+    payloads = stream_pairs(streams, events_per_stream, workloads)
+    client = ServeClient.connect(host, port, timeout=timeout)
+    try:
+        if mode == "closed":
+            report = _closed_loop(client, payloads, predictor, gated,
+                                  frame_events)
+        else:
+            report = _open_loop(client, payloads, predictor, gated,
+                                frame_events, rate)
+        report.update(mode=mode, streams=streams, predictor=predictor,
+                      gated=gated)
+        if verify:
+            report["verify"] = _verify(client, payloads, predictor, gated,
+                                       applied_all=(mode == "closed"))
+        return report
+    finally:
+        client.close()
+
+
+def _frames_of(pcs: array, values: array, frame_events: int
+               ) -> List[Tuple[array, array]]:
+    return [(pcs[i:i + frame_events], values[i:i + frame_events])
+            for i in range(0, len(pcs), frame_events)]
+
+
+def _closed_loop(client: ServeClient, payloads, predictor: str,
+                 gated: bool, frame_events: int) -> Dict[str, Any]:
+    frames = [_frames_of(pcs, values, frame_events)
+              for _sid, pcs, values in payloads]
+    cursor = [0] * len(payloads)          # next frame index per stream
+    sent_at: Dict[int, float] = {}        # req_id -> send timestamp
+    outstanding = 0
+    rtts: List[float] = []
+    busy = errors = frames_done = events_applied = 0
+
+    def send_frame(si: int) -> None:
+        nonlocal outstanding
+        sid, _pcs, _values = payloads[si]
+        fi = cursor[si]
+        pcs, values = frames[si][fi]
+        req_id = (si << 16) | (fi & 0xFFFF)
+        sent_at[req_id] = time.perf_counter()
+        client.send(OP_PREDICT_TRAIN, req_id, sid, predictor,
+                    gated=gated, pcs=pcs, values=values)
+        outstanding += 1
+
+    start = time.perf_counter()
+    for si in range(len(payloads)):
+        send_frame(si)
+    while outstanding:
+        resp = client.recv()
+        outstanding -= 1
+        si = resp.req_id >> 16
+        t0 = sent_at.pop(resp.req_id, None)
+        if resp.status == STATUS_BUSY:
+            busy += 1
+            send_frame(si)  # same cursor: exact retry
+            continue
+        if t0 is not None:
+            rtts.append((time.perf_counter() - t0) * 1000.0)
+        if resp.status == STATUS_OK and resp.stats is not None:
+            events_applied += resp.stats[0]
+        elif resp.status != STATUS_OK:
+            errors += 1
+        frames_done += 1
+        cursor[si] += 1
+        if cursor[si] < len(frames[si]):
+            send_frame(si)
+    wall = time.perf_counter() - start
+    report: Dict[str, Any] = {
+        "events_offered": sum(len(p[1]) for p in payloads),
+        "events_applied": events_applied,
+        "frames": frames_done,
+        "busy": busy,
+        "errors": errors,
+        "wall_s": round(wall, 4),
+        "events_eps": round(events_applied / wall, 1) if wall else 0.0,
+    }
+    report.update(_percentiles(rtts))
+    return report
+
+
+def _open_loop(client: ServeClient, payloads, predictor: str, gated: bool,
+               frame_events: int, rate: Optional[float]) -> Dict[str, Any]:
+    frames: List[Tuple[int, array, array]] = []
+    for si, (_sid, pcs, values) in enumerate(payloads):
+        for fi, (fp, fv) in enumerate(_frames_of(pcs, values,
+                                                 frame_events)):
+            frames.append((((si << 16) | (fi & 0xFFFF)), fp, fv))
+    # Interleave streams so the offered order exercises every shard.
+    frames.sort(key=lambda item: (item[0] & 0xFFFF, item[0] >> 16))
+    sent_at: Dict[int, float] = {}
+    rtts: List[float] = []
+    busy = errors = events_applied = answered = 0
+    offered_events = 0
+    client._sock.settimeout(0.0)
+
+    def drain(block_s: float = 0.0) -> None:
+        nonlocal busy, errors, events_applied, answered
+        deadline = time.perf_counter() + block_s
+        while True:
+            try:
+                resp = client.recv()
+            except (BlockingIOError, socket.timeout):
+                if time.perf_counter() >= deadline:
+                    return
+                time.sleep(0.001)
+                continue
+            t0 = sent_at.pop(resp.req_id, None)
+            answered += 1
+            if resp.status == STATUS_BUSY:
+                busy += 1  # open loop: offered load is fixed, no retry
+                continue
+            if t0 is not None:
+                rtts.append((time.perf_counter() - t0) * 1000.0)
+            if resp.status == STATUS_OK and resp.stats is not None:
+                events_applied += resp.stats[0]
+            elif resp.status != STATUS_OK:
+                errors += 1
+
+    start = time.perf_counter()
+    for i, (req_id, fp, fv) in enumerate(frames):
+        if rate:
+            lead = offered_events / rate
+            while time.perf_counter() - start < lead:
+                drain(0.001)
+        sid = payloads[req_id >> 16][0]
+        sent_at[req_id] = time.perf_counter()
+        client._sock.settimeout(None)
+        client.send(OP_PREDICT_TRAIN, req_id, sid, predictor,
+                    gated=gated, pcs=fp, values=fv)
+        client._sock.settimeout(0.0)
+        offered_events += len(fp)
+        drain(0.0)
+    while answered < len(frames):
+        drain(0.05)
+    wall = time.perf_counter() - start
+    report: Dict[str, Any] = {
+        "events_offered": offered_events,
+        "events_applied": events_applied,
+        "frames": len(frames),
+        "busy": busy,
+        "errors": errors,
+        "wall_s": round(wall, 4),
+        "events_eps": round(events_applied / wall, 1) if wall else 0.0,
+        "offered_eps": round(offered_events / wall, 1) if wall else 0.0,
+    }
+    report.update(_percentiles(rtts))
+    return report
+
+
+def _verify(client: ServeClient, payloads, predictor: str, gated: bool,
+            applied_all: bool) -> Dict[str, Any]:
+    """Serve-vs-batch identity over the wire: OP_STATS totals for every
+    stream against a local batch-harness run of the same pairs.
+
+    Only meaningful when every offered event was applied exactly once
+    (closed loop); an open-loop run that shed BUSY frames reports
+    ``checked=0``.
+    """
+    client._sock.settimeout(None)
+    if not applied_all:
+        return {"checked": 0, "matched": 0, "mismatches": []}
+    mismatches: List[Dict[str, Any]] = []
+    for sid, pcs, values in payloads:
+        resp = client.stats(sid)
+        expected = batch_reference_stats(predictor, gated, pcs, values)
+        want = (expected.attempts, expected.predictions, expected.correct,
+                expected.confident, expected.confident_correct)
+        if resp.status != STATUS_OK or resp.stats != want:
+            mismatches.append({"stream": sid,
+                               "serve": list(resp.stats or ()),
+                               "batch": list(want)})
+    return {"checked": len(payloads),
+            "matched": len(payloads) - len(mismatches),
+            "mismatches": mismatches[:8]}

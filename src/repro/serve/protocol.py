@@ -1,0 +1,463 @@
+"""The ``repro serve`` wire protocol: length-prefixed binary frames.
+
+An online prediction service lives or dies by per-event overhead, so the
+protocol is built around *batches*: one frame carries one operation for
+one stream together with packed ``u64`` pc/value columns for up to
+:data:`MAX_EVENTS` events, and one reply frame answers it.  A client
+amortises its syscalls, framing, and parse cost over the whole batch —
+exactly the packed-column playbook the batch harness uses, applied to a
+socket.
+
+Framing is a little-endian ``u32`` payload length followed by the
+payload; payloads are capped at :data:`MAX_FRAME` bytes so a corrupt or
+hostile length prefix can never balloon the daemon's memory.  Requests
+and responses are versioned through :data:`PROTOCOL_VERSION`, carried in
+every request header.
+
+Request payload layout (little-endian)::
+
+    u8   version        PROTOCOL_VERSION
+    u8   op             OP_* code
+    u8   flags          bit 0: confidence-gated stream
+                        bit 1: reply carries per-event predicted values
+    u8   pred_len       predictor-spec length (ascii, may be 0)
+    u32  req_id         echoed verbatim in the reply
+    u16  sid_len        stream-id length (utf-8; 0 = daemon-level op)
+    u32  count          events in this frame
+    ...  pred bytes, sid bytes
+    u64 * count         pcs      (PREDICT / TRAIN / PREDICT_TRAIN)
+    u64 * count         values   (TRAIN / PREDICT_TRAIN only)
+
+Response payload layout::
+
+    u8   status         STATUS_OK / STATUS_ERROR / STATUS_BUSY
+    u8   op             echo of the request op
+    u32  req_id         echo of the request id
+    ...  status/op-specific body (see the decode_* helpers)
+
+Every decoder validates lengths before touching bytes and raises
+:class:`ProtocolError` on any malformed input — the daemon converts that
+into an error reply or a clean connection close, never a crash
+(``tests/test_serve_protocol.py`` fuzzes exactly this contract).
+"""
+
+from __future__ import annotations
+
+import struct
+from array import array
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+#: Bump when the frame layout changes; requests carry it and the daemon
+#: rejects mismatches with an error reply.
+PROTOCOL_VERSION = 1
+
+#: Hard cap on one frame's payload (length prefix included separately).
+MAX_FRAME = 16 * 1024 * 1024
+
+#: Hard cap on events per frame (keeps worker batches bounded even when
+#: a frame is otherwise well-formed).
+MAX_EVENTS = 65536
+
+# -- operations --------------------------------------------------------------
+OP_PREDICT = 1        #: probe only: per-event predictions, no training
+OP_TRAIN = 2          #: train only: update(pc, value) per event
+OP_PREDICT_TRAIN = 3  #: the profile loop: predict, record stats, train
+OP_SNAPSHOT = 4       #: persist the stream's state to the spool (stays hot)
+OP_EVICT = 5          #: snapshot + drop resident state
+OP_STATS = 6          #: stream PredictionStats; empty sid = daemon counters
+
+OPS = (OP_PREDICT, OP_TRAIN, OP_PREDICT_TRAIN, OP_SNAPSHOT, OP_EVICT,
+       OP_STATS)
+
+#: Ops whose request carries a values column alongside the pcs column.
+_VALUE_OPS = (OP_TRAIN, OP_PREDICT_TRAIN)
+
+# -- status codes ------------------------------------------------------------
+STATUS_OK = 0
+STATUS_ERROR = 1
+#: Backpressure: the stream's shard queue is past its high-water mark.
+#: The frame was *not* applied; the client should back off and resend.
+STATUS_BUSY = 2
+
+# -- flags -------------------------------------------------------------------
+FLAG_GATED = 0x1
+FLAG_WANT_VALUES = 0x2
+
+_LEN = struct.Struct("<I")
+_REQ_HEAD = struct.Struct("<BBBBIHI")
+_RESP_HEAD = struct.Struct("<BBI")
+_U64 = struct.Struct("<Q")
+_U32 = struct.Struct("<I")
+_U16 = struct.Struct("<H")
+_STATS = struct.Struct("<5Q")
+
+
+class ProtocolError(ValueError):
+    """A frame is malformed, oversized, truncated, or of the wrong
+    version."""
+
+
+@dataclass
+class Request:
+    """One decoded request frame."""
+
+    op: int
+    req_id: int
+    stream_id: str
+    predictor: str
+    flags: int
+    pcs: array
+    values: array
+
+    @property
+    def gated(self) -> bool:
+        return bool(self.flags & FLAG_GATED)
+
+    @property
+    def want_values(self) -> bool:
+        return bool(self.flags & FLAG_WANT_VALUES)
+
+
+def _u64s(data: bytes) -> array:
+    column = array("Q")
+    column.frombytes(data)
+    import sys
+
+    if sys.byteorder != "little":  # pragma: no cover - BE hosts
+        column.byteswap()
+    return column
+
+
+def _u64s_bytes(column) -> bytes:
+    import sys
+
+    if sys.byteorder != "little":  # pragma: no cover - BE hosts
+        column = array("Q", column)
+        column.byteswap()
+    if isinstance(column, array):
+        return column.tobytes()
+    return array("Q", column).tobytes()
+
+
+# ---------------------------------------------------------------------------
+# Requests
+# ---------------------------------------------------------------------------
+def encode_request(op: int, req_id: int, stream_id: str = "",
+                   predictor: str = "", flags: int = 0,
+                   pcs=(), values=()) -> bytes:
+    """Encode one request as a complete frame (length prefix included)."""
+    if op not in OPS:
+        raise ProtocolError(f"unknown op {op}")
+    pred = predictor.encode("ascii")
+    sid = stream_id.encode("utf-8")
+    pcs_b = _u64s_bytes(pcs)
+    values_b = _u64s_bytes(values) if op in _VALUE_OPS else b""
+    count = len(pcs_b) // 8
+    if count > MAX_EVENTS:
+        raise ProtocolError(f"{count} events exceeds MAX_EVENTS")
+    if op in _VALUE_OPS and len(values_b) != len(pcs_b):
+        raise ProtocolError("pcs and values lengths differ")
+    payload = b"".join((
+        _REQ_HEAD.pack(PROTOCOL_VERSION, op, flags, len(pred),
+                       req_id & 0xFFFFFFFF, len(sid), count),
+        pred, sid, pcs_b, values_b,
+    ))
+    if len(payload) > MAX_FRAME:
+        raise ProtocolError(f"frame payload {len(payload)} exceeds MAX_FRAME")
+    return _LEN.pack(len(payload)) + payload
+
+
+def decode_request(payload: bytes) -> Request:
+    """Decode one request payload; raises :class:`ProtocolError` on any
+    structural damage (wrong version, bad op, short columns, trailing
+    garbage, oversize counts)."""
+    if len(payload) < _REQ_HEAD.size:
+        raise ProtocolError(
+            f"request header truncated ({len(payload)} bytes)")
+    version, op, flags, pred_len, req_id, sid_len, count = \
+        _REQ_HEAD.unpack_from(payload)
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(f"protocol version {version} unsupported "
+                            f"(daemon speaks {PROTOCOL_VERSION})")
+    if op not in OPS:
+        raise ProtocolError(f"unknown op {op}")
+    if count > MAX_EVENTS:
+        raise ProtocolError(f"{count} events exceeds MAX_EVENTS")
+    offset = _REQ_HEAD.size
+    columns = 2 if op in _VALUE_OPS else 1
+    expected = offset + pred_len + sid_len + columns * 8 * count
+    if len(payload) != expected:
+        raise ProtocolError(f"request payload is {len(payload)} bytes, "
+                            f"layout requires {expected}")
+    pred_raw = payload[offset:offset + pred_len]
+    offset += pred_len
+    sid_raw = payload[offset:offset + sid_len]
+    offset += sid_len
+    try:
+        predictor = pred_raw.decode("ascii")
+        stream_id = sid_raw.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise ProtocolError(f"undecodable identifier: {exc}") from None
+    pcs = _u64s(payload[offset:offset + 8 * count])
+    offset += 8 * count
+    values = (_u64s(payload[offset:offset + 8 * count])
+              if op in _VALUE_OPS else array("Q"))
+    return Request(op=op, req_id=req_id, stream_id=stream_id,
+                   predictor=predictor, flags=flags, pcs=pcs, values=values)
+
+
+# ---------------------------------------------------------------------------
+# Responses
+# ---------------------------------------------------------------------------
+def _frame(payload: bytes) -> bytes:
+    if len(payload) > MAX_FRAME:
+        raise ProtocolError(f"frame payload {len(payload)} exceeds MAX_FRAME")
+    return _LEN.pack(len(payload)) + payload
+
+
+def _bitmap(present: List[bool]) -> bytes:
+    out = bytearray((len(present) + 7) // 8)
+    for i, bit in enumerate(present):
+        if bit:
+            out[i >> 3] |= 1 << (i & 7)
+    return bytes(out)
+
+
+def _unbitmap(data: bytes, count: int) -> List[bool]:
+    return [bool(data[i >> 3] >> (i & 7) & 1) for i in range(count)]
+
+
+def encode_error(op: int, req_id: int, message: str) -> bytes:
+    body = message.encode("utf-8")[:4096]
+    return _frame(_RESP_HEAD.pack(STATUS_ERROR, op & 0xFF,
+                                  req_id & 0xFFFFFFFF)
+                  + _U16.pack(len(body)) + body)
+
+
+def encode_busy(op: int, req_id: int) -> bytes:
+    return _frame(_RESP_HEAD.pack(STATUS_BUSY, op & 0xFF,
+                                  req_id & 0xFFFFFFFF))
+
+
+def encode_predictions(op: int, req_id: int,
+                       values: List[Optional[int]]) -> bytes:
+    """OK reply carrying per-event predictions (``None`` = no prediction)."""
+    present = [v is not None for v in values]
+    column = array("Q", [0 if v is None else v for v in values])
+    return _frame(_RESP_HEAD.pack(STATUS_OK, op, req_id & 0xFFFFFFFF)
+                  + _U32.pack(len(values)) + _bitmap(present)
+                  + _u64s_bytes(column))
+
+
+def encode_outcome(op: int, req_id: int, stats_delta: Tuple[int, ...],
+                   values: Optional[List[Optional[int]]] = None) -> bytes:
+    """OK reply for PREDICT_TRAIN: the frame's 5-counter stats delta,
+    optionally followed by the per-event predictions."""
+    body = _RESP_HEAD.pack(STATUS_OK, op, req_id & 0xFFFFFFFF)
+    body += bytes([1 if values is not None else 0])
+    body += _STATS.pack(*stats_delta)
+    if values is not None:
+        present = [v is not None for v in values]
+        column = array("Q", [0 if v is None else v for v in values])
+        body += (_U32.pack(len(values)) + _bitmap(present)
+                 + _u64s_bytes(column))
+    return _frame(body)
+
+
+def encode_trained(op: int, req_id: int, count: int) -> bytes:
+    return _frame(_RESP_HEAD.pack(STATUS_OK, op, req_id & 0xFFFFFFFF)
+                  + _U32.pack(count))
+
+
+def encode_snapshot(op: int, req_id: int, nbytes: int,
+                    existed: bool = True) -> bytes:
+    return _frame(_RESP_HEAD.pack(STATUS_OK, op, req_id & 0xFFFFFFFF)
+                  + bytes([1 if existed else 0]) + _U64.pack(nbytes))
+
+
+def encode_stats(op: int, req_id: int, resident: bool,
+                 stats: Tuple[int, ...]) -> bytes:
+    return _frame(_RESP_HEAD.pack(STATUS_OK, op, req_id & 0xFFFFFFFF)
+                  + bytes([1 if resident else 0]) + _STATS.pack(*stats))
+
+
+def encode_daemon_stats(op: int, req_id: int, payload: Dict) -> bytes:
+    import json
+
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return _frame(_RESP_HEAD.pack(STATUS_OK, op, req_id & 0xFFFFFFFF)
+                  + _U32.pack(len(body)) + body)
+
+
+@dataclass
+class Response:
+    """One decoded response frame (client side)."""
+
+    status: int
+    op: int
+    req_id: int
+    #: OP_PREDICT / want-values PREDICT_TRAIN: per-event predictions.
+    values: Optional[List[Optional[int]]] = None
+    #: PREDICT_TRAIN: (attempts, predictions, correct, confident,
+    #: confident_correct) delta for this frame; OP_STATS: the totals.
+    stats: Optional[Tuple[int, ...]] = None
+    #: OP_TRAIN: events trained.
+    count: Optional[int] = None
+    #: OP_SNAPSHOT / OP_EVICT: snapshot bytes written.
+    nbytes: Optional[int] = None
+    #: OP_STATS / OP_EVICT: stream residency before the op.
+    resident: Optional[bool] = None
+    #: Daemon-level OP_STATS: decoded JSON counters.
+    daemon: Optional[Dict] = None
+    #: STATUS_ERROR: the message.
+    error: Optional[str] = None
+
+
+def _need(payload: bytes, offset: int, nbytes: int, what: str) -> int:
+    if len(payload) < offset + nbytes:
+        raise ProtocolError(f"response truncated in {what}")
+    return offset + nbytes
+
+
+def _decode_values(payload: bytes, offset: int
+                   ) -> Tuple[List[Optional[int]], int]:
+    _need(payload, offset, _U32.size, "value count")
+    (count,) = _U32.unpack_from(payload, offset)
+    if count > MAX_EVENTS:
+        raise ProtocolError(f"{count} events exceeds MAX_EVENTS")
+    offset += _U32.size
+    bitmap_len = (count + 7) // 8
+    _need(payload, offset, bitmap_len + 8 * count, "value columns")
+    present = _unbitmap(payload[offset:offset + bitmap_len], count)
+    offset += bitmap_len
+    column = _u64s(payload[offset:offset + 8 * count])
+    offset += 8 * count
+    return [column[i] if present[i] else None for i in range(count)], offset
+
+
+def decode_response(payload: bytes) -> Response:
+    """Decode one response payload (client side)."""
+    if len(payload) < _RESP_HEAD.size:
+        raise ProtocolError(
+            f"response header truncated ({len(payload)} bytes)")
+    status, op, req_id = _RESP_HEAD.unpack_from(payload)
+    offset = _RESP_HEAD.size
+    resp = Response(status=status, op=op, req_id=req_id)
+    if status == STATUS_BUSY:
+        return resp
+    if status == STATUS_ERROR:
+        offset = _need(payload, offset, _U16.size, "error length") - _U16.size
+        (msg_len,) = _U16.unpack_from(payload, offset)
+        offset += _U16.size
+        _need(payload, offset, msg_len, "error message")
+        resp.error = payload[offset:offset + msg_len].decode(
+            "utf-8", "replace")
+        return resp
+    if status != STATUS_OK:
+        raise ProtocolError(f"unknown status {status}")
+    if op == OP_PREDICT:
+        resp.values, offset = _decode_values(payload, offset)
+    elif op == OP_PREDICT_TRAIN:
+        _need(payload, offset, 1 + _STATS.size, "outcome body")
+        has_values = payload[offset]
+        offset += 1
+        resp.stats = _STATS.unpack_from(payload, offset)
+        offset += _STATS.size
+        if has_values:
+            resp.values, offset = _decode_values(payload, offset)
+    elif op == OP_TRAIN:
+        _need(payload, offset, _U32.size, "trained count")
+        (resp.count,) = _U32.unpack_from(payload, offset)
+        offset += _U32.size
+    elif op in (OP_SNAPSHOT, OP_EVICT):
+        _need(payload, offset, 1 + _U64.size, "snapshot body")
+        resp.resident = bool(payload[offset])
+        (resp.nbytes,) = _U64.unpack_from(payload, offset + 1)
+        offset += 1 + _U64.size
+    elif op == OP_STATS:
+        _need(payload, offset, 1, "stats body")
+        first = payload[offset]
+        # Stream stats lead with a residency byte (0/1); daemon stats
+        # lead with a u32 JSON length, whose low byte is >= 2 for any
+        # real counter document.  Disambiguate by trying the stream
+        # shape first.
+        if len(payload) == offset + 1 + _STATS.size and first in (0, 1):
+            resp.resident = bool(first)
+            resp.stats = _STATS.unpack_from(payload, offset + 1)
+            offset += 1 + _STATS.size
+        else:
+            import json
+
+            _need(payload, offset, _U32.size, "stats JSON length")
+            (body_len,) = _U32.unpack_from(payload, offset)
+            offset += _U32.size
+            _need(payload, offset, body_len, "stats JSON")
+            try:
+                resp.daemon = json.loads(
+                    payload[offset:offset + body_len].decode("utf-8"))
+            except ValueError as exc:
+                raise ProtocolError(f"bad stats JSON: {exc}") from None
+            offset += body_len
+    else:
+        raise ProtocolError(f"unknown response op {op}")
+    if offset != len(payload):
+        raise ProtocolError(
+            f"{len(payload) - offset} trailing bytes in response")
+    return resp
+
+
+# ---------------------------------------------------------------------------
+# Stream framing
+# ---------------------------------------------------------------------------
+class FrameReader:
+    """Incremental length-prefixed frame parser over a byte stream.
+
+    Feed it whatever ``recv`` returned; it yields complete payloads and
+    raises :class:`ProtocolError` the moment a length prefix is
+    impossible, so the connection can be closed before a hostile frame
+    allocates anything.
+    """
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    def feed(self, data: bytes) -> List[bytes]:
+        self._buf.extend(data)
+        frames: List[bytes] = []
+        while True:
+            if len(self._buf) < _LEN.size:
+                return frames
+            (length,) = _LEN.unpack_from(self._buf)
+            if length > MAX_FRAME:
+                raise ProtocolError(
+                    f"frame length {length} exceeds MAX_FRAME")
+            if len(self._buf) < _LEN.size + length:
+                return frames
+            frames.append(bytes(self._buf[_LEN.size:_LEN.size + length]))
+            del self._buf[:_LEN.size + length]
+
+    @property
+    def pending(self) -> int:
+        """Bytes buffered awaiting a complete frame."""
+        return len(self._buf)
+
+
+def read_frame(fh) -> Optional[bytes]:
+    """Blocking read of one frame payload from a binary file object.
+
+    Returns ``None`` on clean EOF at a frame boundary; raises
+    :class:`ProtocolError` on a torn prefix or truncated payload.
+    """
+    prefix = fh.read(_LEN.size)
+    if not prefix:
+        return None
+    if len(prefix) < _LEN.size:
+        raise ProtocolError("torn frame length prefix")
+    (length,) = _LEN.unpack(prefix)
+    if length > MAX_FRAME:
+        raise ProtocolError(f"frame length {length} exceeds MAX_FRAME")
+    payload = fh.read(length)
+    if len(payload) < length:
+        raise ProtocolError("truncated frame payload")
+    return payload

@@ -1,0 +1,113 @@
+"""The worker-side shard servant.
+
+One serve shard = one persistent pool worker hosting a
+:class:`~repro.serve.streams.StreamManager`.  The driver pins shard *i*
+to pool worker *i* and routes every frame for a stream to
+``crc32(stream_id) % n_shards``, so a stream's predictor state lives on
+exactly one warm worker and is touched strictly in arrival order.
+
+:func:`apply_batch` is the function the driver ships through
+``WorkerPool.shard_send``: it applies a whole coalesced batch of frames
+(possibly from many connections and many streams) in one pipe
+round-trip and returns per-frame replies plus the manager's telemetry
+deltas.  Managers are keyed by shard index in a module global — worker
+processes are single-threaded, and the in-process fallback backend can
+host several shards' managers side by side the same way.
+
+Per-frame errors (unknown predictor spec, spec mismatch, a predictor
+raising) are *data*, not crashes: they come back as error replies while
+the rest of the batch completes, so one bad frame can never wedge a
+shard.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from .protocol import (
+    OP_EVICT,
+    OP_PREDICT,
+    OP_PREDICT_TRAIN,
+    OP_SNAPSHOT,
+    OP_STATS,
+    OP_TRAIN,
+    STATUS_ERROR,
+    STATUS_OK,
+)
+from .streams import StreamError, StreamManager
+
+#: ``{shard index: manager}`` — survives between batches on a persistent
+#: worker, which is the whole point: stream state stays warm.
+_MANAGERS: Dict[int, StreamManager] = {}
+
+
+def _manager(shard: int) -> StreamManager:
+    manager = _MANAGERS.get(shard)
+    if manager is None:
+        manager = _MANAGERS[shard] = StreamManager()
+    return manager
+
+
+def reset_shards() -> None:
+    """Drop every resident manager (tests / in-proc engine teardown)."""
+    _MANAGERS.clear()
+
+
+def apply_batch(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Apply one coalesced batch of frames to one shard's streams.
+
+    *payload* is ``{"shard": int, "events": [(tag, op, flags_gated,
+    flags_want_values, stream_id, predictor_spec, pcs, values), ...]}``
+    with ``pcs``/``values`` as packed ``array('Q')`` columns.
+
+    Returns ``{"replies": [(tag, status, body)], "counters": {...}}``
+    where *body* is the op-specific tuple the engine encodes into the
+    wire reply, or the error message string when ``status`` is
+    :data:`~repro.serve.protocol.STATUS_ERROR`.
+    """
+    manager = _manager(payload["shard"])
+    replies: List[Tuple[int, int, Any]] = []
+    for event in payload["events"]:
+        tag = event[0]
+        try:
+            replies.append((tag, STATUS_OK, _apply_event(manager, event)))
+        except StreamError as exc:
+            manager._count("stream_errors")
+            replies.append((tag, STATUS_ERROR, str(exc)))
+        except Exception as exc:  # a predictor bug must not kill the shard
+            manager._count("stream_errors")
+            replies.append(
+                (tag, STATUS_ERROR, f"{type(exc).__name__}: {exc}"))
+    return {"replies": replies, "counters": manager.drain_counters()}
+
+
+def _apply_event(manager: StreamManager, event: Tuple) -> Tuple:
+    _tag, op, gated, want_values, sid, spec, pcs, values = event
+    if op == OP_PREDICT_TRAIN:
+        record = manager.touch(sid, spec, gated)
+        delta, predictions = record.predict_train(pcs, values,
+                                                  want_values)
+        manager._count("events", len(pcs))
+        return ("outcome", delta, predictions)
+    if op == OP_PREDICT:
+        record = manager.touch(sid, spec, None)
+        return ("predictions", record.probe(pcs))
+    if op == OP_TRAIN:
+        record = manager.touch(sid, spec, None)
+        manager._count("events", len(pcs))
+        return ("trained", record.train(pcs, values))
+    if op == OP_SNAPSHOT:
+        return ("snapshot",) + manager.snapshot(sid)
+    if op == OP_EVICT:
+        return ("snapshot",) + manager.evict(sid)
+    if op == OP_STATS:
+        # A stats probe never *creates* a stream: resident state answers
+        # directly, a spooled snapshot restores (it is about to be read
+        # anyway), anything else reports absent with zeroed counters.
+        if manager.resident(sid):
+            return ("stats", True, manager.touch(sid).stats_tuple())
+        record = manager._restore(sid)
+        if record is None:
+            return ("stats", False, (0, 0, 0, 0, 0))
+        return ("stats", True, record.stats_tuple())
+    raise StreamError(f"unsupported op {op}")

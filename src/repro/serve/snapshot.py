@@ -1,0 +1,120 @@
+"""Predictor-state snapshots for evicted streams.
+
+The LRU stream manager bounds resident predictor state; an evicted
+stream's predictor must come back *bit-identical* on its next touch so a
+serve run equals one uninterrupted batch run (the acceptance criterion
+``tests/test_serve.py`` asserts across an evict→restore cycle).
+
+Snapshots reuse the binary-io discipline of the packed trace format
+(:mod:`repro.trace.io`): a magic/version header, an explicit body
+length, and a CRC-32 over the body, so corruption or truncation is
+detected *before* any state is handed to a shard — a damaged snapshot
+raises :class:`SnapshotError` and the stream restarts fresh rather than
+serving from torn state.  The body is the pickled
+``(predictor_spec, gated, predictor, confidence, stats)`` tuple: the
+flat-array predictors (ring-buffer queues, ``array('Q')`` tables)
+pickle to a handful of contiguous buffers, which is what makes eviction
+cheap enough to run inline on the serve path.
+
+Writes are atomic (tempfile + rename), matching the trace cache: a
+concurrent snapshot of the same stream can never tear the file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import struct
+import tempfile
+import zlib
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+SNAPSHOT_MAGIC = b"RPSNAP\x00\x00"
+SNAPSHOT_VERSION = 1
+SNAPSHOT_SUFFIX = ".rps"
+
+_HEADER = struct.Struct("<8sHHLQ")
+
+
+class SnapshotError(ValueError):
+    """A snapshot file is corrupt, truncated, or of the wrong version."""
+
+
+def snapshot_path(root: Union[str, Path], stream_id: str) -> Path:
+    """Spool location for one stream's snapshot.
+
+    The filename is a digest of the stream id — ids are arbitrary
+    client-supplied strings and must never reach the filesystem as path
+    components.
+    """
+    digest = hashlib.sha256(stream_id.encode("utf-8")).hexdigest()[:24]
+    return Path(root) / f"{digest}{SNAPSHOT_SUFFIX}"
+
+
+def dump_stream(path: Union[str, Path], predictor_spec: str, gated: bool,
+                predictor, confidence, stats) -> int:
+    """Atomically write one stream's state; returns bytes written."""
+    body = pickle.dumps(
+        (predictor_spec, bool(gated), predictor, confidence, stats),
+        protocol=pickle.HIGHEST_PROTOCOL)
+    header = _HEADER.pack(SNAPSHOT_MAGIC, SNAPSHOT_VERSION, 0,
+                          zlib.crc32(body) & 0xFFFFFFFF, len(body))
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.stem,
+                               suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(header)
+            fh.write(body)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return len(header) + len(body)
+
+
+def load_stream(path: Union[str, Path]
+                ) -> Tuple[str, bool, object, Optional[object], object]:
+    """Load and validate one stream snapshot.
+
+    Returns ``(predictor_spec, gated, predictor, confidence, stats)``;
+    raises :class:`SnapshotError` on any structural damage.
+    """
+    try:
+        raw = Path(path).read_bytes()
+    except OSError as exc:
+        raise SnapshotError(f"{path}: unreadable ({exc})") from exc
+    if len(raw) < _HEADER.size:
+        raise SnapshotError(f"{path}: truncated header "
+                            f"({len(raw)} bytes)")
+    magic, version, _flags, crc, body_len = _HEADER.unpack_from(raw)
+    if magic != SNAPSHOT_MAGIC:
+        raise SnapshotError(f"{path}: not a stream snapshot")
+    if version != SNAPSHOT_VERSION:
+        raise SnapshotError(f"{path}: snapshot version {version} "
+                            f"unsupported (expected {SNAPSHOT_VERSION})")
+    body = raw[_HEADER.size:]
+    if len(body) != body_len:
+        raise SnapshotError(f"{path}: body is {len(body)} bytes, header "
+                            f"promised {body_len}")
+    if zlib.crc32(body) & 0xFFFFFFFF != crc:
+        raise SnapshotError(f"{path}: body CRC mismatch")
+    try:
+        spec, gated, predictor, confidence, stats = pickle.loads(body)
+    except Exception as exc:
+        raise SnapshotError(f"{path}: undecodable body ({exc})") from exc
+    return spec, bool(gated), predictor, confidence, stats
+
+
+def discard(path: Union[str, Path]) -> None:
+    """Best-effort removal of a (consumed or damaged) snapshot."""
+    try:
+        Path(path).unlink()
+    except OSError:
+        pass

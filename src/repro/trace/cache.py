@@ -372,7 +372,25 @@ def default_cache(metrics=None) -> TraceCache:
 #: (``cache.mem_hit``), inserting past the cap evicts the least
 #: recently used entry (``cache.mem_evict``).
 _MEM_CACHE: "OrderedDict[tuple, PackedTrace]" = OrderedDict()
+
+#: Default memo capacity; ``REPRO_MEM_CACHE`` overrides per process (a
+#: many-stream serve worker tunes memo pressure up or down; ``0``
+#: disables the memo without touching the disk/shm tiers).
 _MEM_CAP = 12
+
+
+def mem_cache_cap() -> int:
+    """Effective memo capacity: ``REPRO_MEM_CACHE`` when it parses as a
+    non-negative integer, :data:`_MEM_CAP` otherwise."""
+    raw = os.environ.get("REPRO_MEM_CACHE", "").strip()
+    if raw:
+        try:
+            cap = int(raw)
+        except ValueError:
+            return _MEM_CAP
+        if cap >= 0:
+            return cap
+    return _MEM_CAP
 
 
 def _memo_get(memo_key: tuple, metrics) -> Optional[PackedTrace]:
@@ -389,7 +407,16 @@ def _memo_get(memo_key: tuple, metrics) -> Optional[PackedTrace]:
 
 
 def _memo_put(memo_key: tuple, trace: PackedTrace, metrics) -> None:
-    while len(_MEM_CACHE) >= _MEM_CAP:
+    cap = mem_cache_cap()
+    if cap <= 0:
+        # Memo disabled: anything resident (the cap may have just been
+        # lowered) is evicted, and the new trace is not retained.
+        while _MEM_CACHE:
+            _MEM_CACHE.popitem(last=False)
+            if metrics is not None:
+                metrics.counter("cache.mem_evict").inc()
+        return
+    while len(_MEM_CACHE) >= cap:
         _MEM_CACHE.popitem(last=False)
         if metrics is not None:
             metrics.counter("cache.mem_evict").inc()

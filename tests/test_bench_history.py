@@ -65,6 +65,18 @@ class TestDirections:
         ("metric:kernels.gdiff_kernel_speedup", "lower-bad"),
         ("metric:kernels.fig8_speedup_x", "lower-bad"),
         ("metric:fig8.average_accuracy", "info"),
+        # Serving-plane rates: a falling events/s throughput is the
+        # regression, so the `_s`-suffix duration rule must not claim
+        # these names.
+        ("metric:serve.closed_64stream_eps", "lower-bad"),
+        ("metric:serve.naive_rtt_eps", "lower-bad"),
+        ("metric:serve.frontend_qps", "lower-bad"),
+        # Latency percentiles gate higher-is-bad with or without a
+        # unit suffix.
+        ("metric:serve.closed_p99_ms", "higher-bad"),
+        ("metric:serve.closed_p50_ms", "higher-bad"),
+        ("metric:loadgen.lat_p90", "higher-bad"),
+        ("metric:loadgen.lat_p99", "higher-bad"),
     ])
     def test_inferred_from_name(self, name, direction):
         assert metric_direction(name) == direction

@@ -1,0 +1,242 @@
+"""Fuzzing the serve wire protocol (hypothesis).
+
+The contract under test (docs/SERVING.md): whatever bytes a client
+sends — malformed frames, truncated prefixes, unknown ops, hostile
+lengths, mid-frame disconnects — the daemon answers with an error reply
+or closes the connection cleanly.  It never crashes, never wedges, and
+never lets a frame mutate predictor state after a decode error.
+"""
+
+import socket
+import threading
+from array import array
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.serve import protocol
+from repro.serve.engine import ServeConfig, ServeEngine
+from repro.serve.loadgen import ServeClient
+from repro.serve.protocol import (
+    MAX_FRAME,
+    OP_PREDICT,
+    OP_PREDICT_TRAIN,
+    OP_STATS,
+    OP_TRAIN,
+    OPS,
+    STATUS_ERROR,
+    STATUS_OK,
+    FrameReader,
+    ProtocolError,
+    Request,
+    decode_request,
+    decode_response,
+    encode_request,
+)
+from repro.telemetry import MetricsRegistry
+
+words = st.integers(min_value=0, max_value=(1 << 64) - 1)
+ops = st.sampled_from(OPS)
+stream_ids = st.text(min_size=0, max_size=64)
+predictors = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+    min_size=0, max_size=32)
+columns = st.lists(words, min_size=0, max_size=64)
+
+
+class TestRoundTrip:
+    @given(ops, st.integers(min_value=0, max_value=(1 << 32) - 1),
+           stream_ids, predictors, st.integers(min_value=0, max_value=3),
+           columns)
+    def test_request_encode_decode_identity(self, op, req_id, sid, pred,
+                                            flags, pcs):
+        values = [v ^ 0x5A5A for v in pcs]
+        frame = encode_request(op, req_id, sid, pred, flags,
+                               pcs=pcs, values=values)
+        req = decode_request(frame[4:])
+        assert isinstance(req, Request)
+        assert (req.op, req.req_id, req.stream_id, req.predictor,
+                req.flags) == (op, req_id, sid, pred, flags)
+        assert list(req.pcs) == pcs
+        if op in (OP_TRAIN, OP_PREDICT_TRAIN):
+            assert list(req.values) == values
+        else:
+            assert len(req.values) == 0
+
+    @given(st.lists(st.binary(min_size=0, max_size=200), min_size=0,
+                    max_size=8),
+           st.integers(min_value=1, max_value=64))
+    def test_frame_reader_reassembles_any_chunking(self, payloads, chunk):
+        stream = b"".join(protocol._frame(p) for p in payloads)
+        reader = FrameReader()
+        got = []
+        for i in range(0, len(stream), chunk):
+            got.extend(reader.feed(stream[i:i + chunk]))
+        assert got == payloads
+        assert reader.pending == 0
+
+    def test_frame_reader_rejects_hostile_length(self):
+        reader = FrameReader()
+        with pytest.raises(ProtocolError):
+            reader.feed(protocol._LEN.pack(MAX_FRAME + 1) + b"x")
+
+
+@st.composite
+def mutated_request(draw):
+    """A valid request frame payload with one byte flipped or a
+    truncation applied — the classic single-fault corpus."""
+    pcs = draw(columns)
+    frame = encode_request(
+        draw(ops), draw(st.integers(min_value=0, max_value=0xFFFFFFFF)),
+        draw(stream_ids), draw(predictors), draw(st.integers(0, 3)),
+        pcs=pcs, values=[v ^ 1 for v in pcs])
+    payload = bytearray(frame[4:])
+    if draw(st.booleans()) and payload:
+        index = draw(st.integers(0, len(payload) - 1))
+        payload[index] ^= draw(st.integers(1, 255))
+    else:
+        payload = payload[:draw(st.integers(0, len(payload)))]
+    return bytes(payload)
+
+
+class TestSingleFault:
+    @given(mutated_request())
+    def test_decode_request_total(self, payload):
+        """Any single-fault payload either decodes or raises
+        ProtocolError — never any other exception type."""
+        try:
+            decode_request(payload)
+        except ProtocolError:
+            pass
+
+    @given(st.binary(min_size=0, max_size=300))
+    def test_decode_request_arbitrary_bytes(self, payload):
+        try:
+            decode_request(payload)
+        except ProtocolError:
+            pass
+
+    @given(st.binary(min_size=0, max_size=300))
+    def test_decode_response_arbitrary_bytes(self, payload):
+        try:
+            decode_response(payload)
+        except ProtocolError:
+            pass
+
+
+@pytest.fixture(scope="module")
+def daemon():
+    """One in-process daemon shared by the socket-level fuzz tests
+    (no forked workers: the fuzz exercises the front end)."""
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as spool:
+        config = ServeConfig(port=0, shards=2, backend="inproc",
+                             spool=spool)
+        registry = MetricsRegistry()
+        engine = ServeEngine(config, registry=registry).start()
+        thread = threading.Thread(target=engine.serve_forever,
+                                  kwargs={"poll_s": 0.02}, daemon=True)
+        thread.start()
+        yield engine
+        engine.stop()
+        thread.join(timeout=10)
+
+
+def _exchange(daemon, raw: bytes, then_valid: bool = True):
+    """Send raw bytes, then (optionally) a valid request on a *new*
+    connection to prove the daemon is still alive.  Returns whatever
+    frames the first connection produced before close/timeout."""
+    host, port = daemon.address
+    sock = socket.create_connection((host, port), timeout=5)
+    reader = FrameReader()
+    frames = []
+    try:
+        sock.sendall(raw)
+        sock.settimeout(0.5)
+        try:
+            while True:
+                data = sock.recv(1 << 16)
+                if not data:
+                    break
+                frames.extend(reader.feed(data))
+        except socket.timeout:
+            pass
+    finally:
+        sock.close()
+    if then_valid:
+        with ServeClient.connect(host, port, timeout=5) as client:
+            resp = client.stats()
+            assert resp.status == STATUS_OK and resp.daemon is not None
+    return frames
+
+
+class TestDaemonSurvivesHostileBytes:
+    def test_unknown_op_gets_error_reply(self, daemon):
+        frame = bytearray(encode_request(OP_PREDICT, 5, "s", "stride",
+                                         pcs=[1, 2]))
+        frame[5] = 99  # the op byte, after the 4-byte prefix + version
+        frames = _exchange(daemon, bytes(frame))
+        assert frames, "expected an error reply"
+        resp = decode_response(frames[0])
+        assert resp.status == STATUS_ERROR
+        assert "op" in resp.error
+
+    def test_wrong_version_gets_error_reply(self, daemon):
+        frame = bytearray(encode_request(OP_STATS, 1, "s"))
+        frame[4] = 77  # the version byte
+        frames = _exchange(daemon, bytes(frame))
+        resp = decode_response(frames[0])
+        assert resp.status == STATUS_ERROR and "version" in resp.error
+
+    def test_hostile_length_prefix_closes_connection(self, daemon):
+        raw = protocol._LEN.pack(MAX_FRAME + 7) + b"\x00" * 64
+        frames = _exchange(daemon, raw)
+        # One error frame, then the daemon hangs up.
+        assert len(frames) == 1
+        assert decode_response(frames[0]).status == STATUS_ERROR
+
+    def test_mid_frame_disconnect_is_clean(self, daemon):
+        valid = encode_request(OP_PREDICT_TRAIN, 3, "cut", "stride",
+                               pcs=[1, 2, 3], values=[4, 5, 6])
+        _exchange(daemon, valid[:len(valid) // 2], then_valid=True)
+
+    def test_torn_prefix_disconnect_is_clean(self, daemon):
+        _exchange(daemon, b"\x07", then_valid=True)
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(st.binary(min_size=1, max_size=120))
+    def test_arbitrary_bytes_never_wedge(self, daemon, raw):
+        frames = _exchange(daemon, raw, then_valid=True)
+        for frame in frames:
+            decode_response(frame)  # replies, if any, are well-formed
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(mutated_request())
+    def test_mutated_frames_never_wedge(self, daemon, payload):
+        frames = _exchange(daemon, protocol._LEN.pack(len(payload))
+                           + payload, then_valid=True)
+        for frame in frames:
+            decode_response(frame)
+
+    def test_decode_error_does_not_mutate_stream_state(self, daemon):
+        host, port = daemon.address
+        with ServeClient.connect(host, port) as client:
+            before = client.predict_train("fuzz-state", "stride",
+                                          array("Q", [8, 8]),
+                                          array("Q", [1, 2]))
+            assert before.status == STATUS_OK
+            # A frame that fails decode (bad version) must not advance
+            # the stream.
+            bad = bytearray(encode_request(OP_PREDICT_TRAIN, 9,
+                                           "fuzz-state", "stride",
+                                           pcs=[8], values=[3]))
+            bad[4] = 42
+            client._sock.sendall(bytes(bad))
+            err = client.recv()
+            assert err.status == STATUS_ERROR
+            stats = client.stats("fuzz-state")
+            assert stats.stats == tuple(before.stats)
