@@ -1,0 +1,53 @@
+"""A small real program for `repro trace import --capture` demos and CI.
+
+Integer-heavy on purpose (capture records integer stores): loop
+counters, running sums, a hash-table histogram, a linear-congruential
+mixer, and a Fibonacci tail — covering strided, correlated, periodic
+and hard value streams in a genuinely executing Python program.
+"""
+
+import sys
+
+
+def checksum_blocks(blocks, width=16):
+    total = 0
+    acc = 7
+    for index, block in enumerate(blocks):
+        offset = index * width
+        acc = (acc * 1103515245 + block) % (1 << 31)
+        total = total + (block ^ (offset & 0xFF))
+    return total, acc
+
+
+def histogram(values, buckets=8):
+    counts = [0] * buckets
+    for value in values:
+        slot = value % buckets
+        count = counts[slot] + 1
+        counts[slot] = count
+    return counts
+
+
+def fib(n):
+    a = 0
+    b = 1
+    for _ in range(n):
+        a, b = b, a + b
+    return a
+
+
+def main(rounds=40):
+    blocks = [(i * 37 + 11) % 4096 for i in range(96)]
+    grand = 0
+    for round_no in range(rounds):
+        total, acc = checksum_blocks(blocks)
+        counts = histogram(blocks, buckets=8)
+        peak = max(counts)
+        tail = fib(round_no % 24)
+        grand = (grand + total + acc + peak + tail) % (1 << 48)
+    return grand
+
+
+if __name__ == "__main__":
+    rounds = int(sys.argv[1]) if len(sys.argv) > 1 else 40
+    print(main(rounds))

@@ -42,7 +42,7 @@ from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 from ..harness.parallel import TASK_OK, default_workers, run_tasks
 from ..telemetry import MetricsRegistry, RunManifest, get_logger
 from ..trace import shm
-from ..trace.cache import cache_enabled, default_cache
+from ..trace.cache import cache_enabled, default_cache, effective_length
 from ..trace.packed import PackedTrace
 from .spec import Cell, CampaignSpec
 from .store import CampaignStore
@@ -346,11 +346,15 @@ class CampaignScheduler:
                                 bench, length, exc)
                     continue
                 if shm.shm_enabled() and isinstance(trace, PackedTrace):
-                    # Publish under the *effective* seed so worker-side
-                    # ``cached_trace`` lookups (which resolve a None seed
-                    # to the workload default) find the segment.
-                    eff = _workload(bench).seed if seed is None else seed
-                    shm.publish(trace, (bench, length, eff, copies),
+                    # Publish under the *effective* seed and *effective*
+                    # length so worker-side ``cached_trace`` lookups
+                    # (which resolve a None seed to the workload default
+                    # and clamp finite imported workloads) find the
+                    # segment.
+                    spec = _workload(bench)
+                    eff = spec.seed if seed is None else seed
+                    eff_len = effective_length(spec, length)
+                    shm.publish(trace, (bench, eff_len, eff, copies),
                                 metrics=self.registry)
         finally:
             if timer is not None:

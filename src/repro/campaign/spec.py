@@ -339,9 +339,11 @@ def _validate_cell(kind: str, params: Dict[str, Any]) -> None:
 
 
 def _validate_benchmarks(names: Sequence[Any]) -> None:
-    from ..trace.workloads import BENCHMARKS
+    # Any resolvable workload is a valid campaign axis: the synthetic
+    # suite, the adversarial bank, and imported traces.
+    from ..trace.workloads import is_known, known_names
 
-    bad = [n for n in names if n not in BENCHMARKS]
+    bad = [n for n in names if not is_known(n)]
     if bad:
-        raise SpecError(f"unknown benchmark(s) {bad}; choose from "
-                        f"{BENCHMARKS}")
+        raise SpecError(f"unknown workload(s) {bad}; choose from "
+                        f"{known_names()}")

@@ -5,8 +5,22 @@ Subcommands:
 * ``repro list`` — benchmarks and experiments available.
 * ``repro run <experiment> [--length N] [--bench b1,b2] [--out FILE]`` —
   regenerate one of the paper's tables/figures.
-* ``repro trace <benchmark> [--length N] [--out FILE]`` — generate (and
-  optionally save) a workload trace, printing its summary.
+* ``repro trace gen <workload> [--length N] [--out FILE]`` — generate
+  (and optionally save) a workload trace, printing its summary.  The
+  bare ``repro trace <workload>`` spelling still works.
+* ``repro trace import <source> [--format f] [--name n] [--limit N]``
+  — convert an external value/address stream (CSV/ndjson interchange,
+  CVP-style, ChampSim-style, all gzip-transparent) into the packed
+  trace store with a provenance manifest; ``--capture script.py`` runs
+  a Python script under ``sys.settrace`` and records its integer value
+  stream instead.  ``repro trace list|info|remove`` manage the store.
+  Imported names are first-class workloads everywhere
+  (docs/WORKLOADS.md).
+* ``repro workloads [--groups g1,g2] [--only n1,n2] [--check|--smoke]``
+  — sweep the whole workload bank (synthetic suite, adversarial
+  scenarios, imported traces) through the predictor zoo in one table;
+  ``--check`` gates the adversarial scenarios against their calibrated
+  accuracy bands, ``--smoke`` is the CI shape.
 * ``repro predict <benchmark> [--length N] [--predictors a,b,c]`` —
   profile-style accuracy comparison over one benchmark.
 * ``repro simulate <benchmark> [--length N] [--vp NAME] [--speculate]`` —
@@ -31,9 +45,11 @@ Subcommands:
   state on warm pool workers, batched dispatch, LRU eviction with
   transparent restore (docs/SERVING.md).
 * ``repro loadgen [--streams N] [--events N] [--mode closed|open]
-  [--verify]`` — drive a running daemon with N concurrent streams and
-  report QPS and latency percentiles; ``--verify`` replays every stream
-  through the batch harness and checks bit-identical PredictionStats.
+  [--trace NAME] [--verify]`` — drive a running daemon with N
+  concurrent streams and report QPS and latency percentiles;
+  ``--trace`` replays a specific workload (imported traces included),
+  ``--verify`` replays every stream through the batch harness and
+  checks bit-identical PredictionStats.
 
 Every subcommand accepts the shared telemetry flags (docs/TELEMETRY.md):
 ``--metrics-out FILE`` writes a JSON run manifest (``-`` streams it to
@@ -284,7 +300,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_trace(args: argparse.Namespace) -> int:
+def _trace_gen(args: argparse.Namespace) -> int:
+    _require_workload(args.benchmark, "trace gen")
     tele = _Telemetry(args, "trace")
     log.info("generating %s trace (%d instructions)",
              args.benchmark, args.length)
@@ -305,7 +322,159 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_import(args: argparse.Namespace) -> int:
+    from .trace.ingest import IngestError, import_trace
+    from .trace.ingest.store import trace_path
+
+    if bool(args.capture) == bool(args.source):
+        raise SystemExit("trace import: give exactly one of SOURCE or "
+                         "--capture SCRIPT")
+    tele = _Telemetry(args, "trace-import")
+    out = tele.human
+    adapter = args.format
+    source = args.source
+    options: Dict[str, object] = {}
+    if args.capture:
+        adapter = "capture"
+        source = args.capture
+        options = {"argv": tuple(args.arg or ()), "scope": args.scope}
+    try:
+        with tele.timer("trace_import") as span:
+            doc = import_trace(source, adapter=adapter, name=args.name,
+                               limit=args.limit, force=args.force,
+                               options=options, metrics=tele.registry)
+            span.items = doc["events"]
+    except IngestError as exc:
+        raise SystemExit(f"trace import: {exc}")
+    print(f"imported {doc['name']}: {doc['events']:,} events "
+          f"({doc['value_events']:,} value-producing, "
+          f"{doc['dropped']} dropped) via {doc['adapter']} "
+          f"in {doc['elapsed_s']:.2f}s", file=out)
+    print(f"  trace  : {trace_path(doc['name'])} "
+          f"({doc['trace_bytes']:,} bytes)", file=out)
+    print(f"  source : sha256 {doc['source_sha256'][:16]}... "
+          f"({doc['source_bytes']:,} bytes)", file=out)
+    print(f"  content: sha256 {doc['content_sha256'][:16]}...", file=out)
+    print(f"run it:  repro predict {doc['name']}   |   "
+          f"repro workloads --only {doc['name']}", file=out)
+    tele.add("import", doc)
+    tele.finish()
+    return 0
+
+
+def _trace_list(args: argparse.Namespace) -> int:
+    from .trace.ingest import imported_names, imported_root, manifest
+
+    tele = _Telemetry(args, "trace-list")
+    out = tele.human
+    names = imported_names()
+    print(f"imported workloads at {imported_root()}: {len(names)}",
+          file=out)
+    docs = {}
+    for name in names:
+        doc = manifest(name)
+        docs[name] = doc
+        print(f"  {name:24s} {doc['events']:>10,} events "
+              f"{doc['trace_bytes']:>12,} bytes  via {doc['adapter']}",
+              file=out)
+    tele.add("imported", docs)
+    tele.finish()
+    return 0
+
+
+def _trace_info(args: argparse.Namespace) -> int:
+    from .trace.ingest import IngestError, manifest
+
+    tele = _Telemetry(args, "trace-info")
+    try:
+        doc = manifest(args.name)
+    except IngestError as exc:
+        raise SystemExit(f"trace info: {exc}")
+    print(json.dumps(doc, indent=2, sort_keys=True), file=tele.human)
+    tele.add("manifest", doc)
+    tele.finish()
+    return 0
+
+
+def _trace_remove(args: argparse.Namespace) -> int:
+    from .trace.ingest import remove
+
+    tele = _Telemetry(args, "trace-remove")
+    if remove(args.name):
+        print(f"removed imported workload {args.name}", file=tele.human)
+        code = 0
+    else:
+        print(f"no imported workload {args.name}", file=tele.human)
+        code = 1
+    tele.finish()
+    return code
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    return {
+        "gen": _trace_gen,
+        "import": _trace_import,
+        "list": _trace_list,
+        "info": _trace_info,
+        "remove": _trace_remove,
+    }[args.action](args)
+
+
+def cmd_workloads(args: argparse.Namespace) -> int:
+    from .harness.workbank import render_bank, run_bank
+
+    tele = _Telemetry(args, "workloads")
+    out = tele.human
+    groups = [g.strip() for g in args.groups.split(",") if g.strip()]
+    only = ([w.strip() for w in args.only.split(",") if w.strip()]
+            if args.only else None)
+    predictors = [p.strip() for p in args.predictors.split(",")
+                  if p.strip()]
+    length = args.length
+    check = args.check
+    if args.smoke:
+        # The CI shape: adversarial bank at the calibrated length, bands
+        # gated.  Imported traces ride along so a fresh import is swept.
+        groups = ["adversarial", "imported"]
+        length = None
+        check = True
+    progress = tele.progress("workloads: ")
+    try:
+        with tele.timer("workloads") as span:
+            rows, checks = run_bank(
+                groups=groups, only=only, predictors=predictors,
+                length=length, check=check, metrics=tele.registry,
+                on_progress=progress)
+            span.items = len(rows)
+    except ValueError as exc:
+        raise SystemExit(f"workloads: {exc}")
+    if progress is not None:
+        progress.close()
+    print("\n".join(render_bank(rows, checks, predictors)), file=out)
+    tele.add("workloads", {
+        "rows": [{"workload": r.workload, "group": r.group,
+                  "length": r.length, "value_events": r.value_events,
+                  "accuracy": r.accuracy} for r in rows],
+        "checks": [{"workload": c.workload, "predictor": c.predictor,
+                    "lo": c.lo, "hi": c.hi, "actual": c.actual,
+                    "ok": c.ok} for c in checks],
+    })
+    tele.finish()
+    if not rows:
+        print("workloads: nothing selected", file=out)
+    return 2 if any(not c.ok for c in checks) else 0
+
+
+def _require_workload(name: str, command: str) -> None:
+    from .trace.workloads import is_known, known_names
+
+    if not is_known(name):
+        raise SystemExit(f"{command}: unknown workload {name!r}; "
+                         f"choose from {known_names()}")
+
+
 def cmd_predict(args: argparse.Namespace) -> int:
+    _require_workload(args.benchmark, "predict")
     names = [p.strip() for p in args.predictors.split(",") if p.strip()]
     unknown = [p for p in names if p not in PREDICTORS]
     if unknown:
@@ -348,6 +517,7 @@ def cmd_predict(args: argparse.Namespace) -> int:
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
+    _require_workload(args.benchmark, "simulate")
     adapter = None
     if args.vp:
         if args.vp not in PIPELINE_SCHEMES:
@@ -505,6 +675,16 @@ def cmd_cache(args: argparse.Namespace) -> int:
         print(f"trace cache at {stats['root']} ({enabled})", file=out)
         print(f"  entries: {stats['entries']}", file=out)
         print(f"  bytes  : {stats['bytes']:,}", file=out)
+        origins = stats.get("origins")
+        if origins:
+            gen, imp = origins["generated"], origins["imported"]
+            print(f"  origin generated: {gen['entries']} entries, "
+                  f"{gen['bytes']:,} bytes", file=out)
+            print(f"  origin imported : {imp['entries']} entries, "
+                  f"{imp['bytes']:,} bytes", file=out)
+            store = origins["imported_store"]
+            print(f"  import store    : {store['workloads']} workload(s), "
+                  f"{store['bytes']:,} bytes at {store['root']}", file=out)
         for entry in stats["files"]:
             print(f"    {entry['name']:56s} {entry['bytes']:>12,}", file=out)
         tele.add("cache", stats)
@@ -670,6 +850,13 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     out = tele.human
     workloads = (tuple(b.strip() for b in args.bench.split(",") if b.strip())
                  if args.bench else DEFAULT_WORKLOADS)
+    if args.trace:
+        from .trace.workloads import is_known, known_names
+
+        if not is_known(args.trace):
+            raise SystemExit(f"loadgen: unknown workload {args.trace!r}; "
+                             f"choose from {known_names()}")
+        workloads = (args.trace,)
     try:
         report = run_loadgen(
             args.host, args.port,
@@ -878,15 +1065,82 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--bench", help="comma-separated benchmark subset")
     p_run.add_argument("--out", help="also save the rendered table here")
 
-    p_trace = sub.add_parser("trace", parents=[telemetry],
-                             help="generate a workload trace")
-    p_trace.add_argument("benchmark", choices=BENCHMARKS)
-    p_trace.add_argument("--length", type=int, default=100_000)
-    p_trace.add_argument("--out", help="save the trace (.trace / .trace.gz)")
+    # Like ``cache``, the trace command carries nested actions; telemetry
+    # flags live on the leaf parsers only.  ``main()`` rewrites the
+    # historical ``repro trace <benchmark>`` to ``trace gen <benchmark>``.
+    p_trace = sub.add_parser("trace",
+                             help="generate, import, or inspect workload "
+                                  "traces (docs/WORKLOADS.md)")
+    trace_sub = p_trace.add_subparsers(dest="action", required=True)
+    p_tgen = trace_sub.add_parser("gen", parents=[telemetry],
+                                  help="generate a workload trace")
+    p_tgen.add_argument("benchmark",
+                        help="suite benchmark, adversarial scenario, or "
+                             "imported workload")
+    p_tgen.add_argument("--length", type=int, default=100_000)
+    p_tgen.add_argument("--out", help="save the trace (.trace / .trace.gz)")
+    p_timp = trace_sub.add_parser(
+        "import", parents=[telemetry],
+        help="convert an external value/address stream into a "
+             "first-class workload")
+    p_timp.add_argument("source", nargs="?",
+                        help="trace dump: .csv/.ndjson interchange, .cvp, "
+                             "or .champsim (each optionally .gz)")
+    p_timp.add_argument("--format",
+                        help="adapter name (default: detect from the "
+                             "source suffix)")
+    p_timp.add_argument("--capture", metavar="SCRIPT",
+                        help="run a Python script under the bytecode "
+                             "capture hook instead of reading a dump")
+    p_timp.add_argument("--arg", action="append", metavar="ARG",
+                        help="argv entry for --capture (repeatable)")
+    p_timp.add_argument("--scope", choices=("script", "tree", "all"),
+                        default="script",
+                        help="which frames --capture records: the script "
+                             "file, its directory tree, or everything "
+                             "(default script)")
+    p_timp.add_argument("--name", help="workload name (default: derived "
+                                       "from the source filename)")
+    p_timp.add_argument("--limit", type=int, default=None,
+                        help="stop after N events")
+    p_timp.add_argument("--force", action="store_true",
+                        help="replace an existing import of the same name")
+    trace_sub.add_parser("list", parents=[telemetry],
+                         help="list imported workloads")
+    p_tinfo = trace_sub.add_parser("info", parents=[telemetry],
+                                   help="print an import's provenance "
+                                        "manifest")
+    p_tinfo.add_argument("name")
+    p_trm = trace_sub.add_parser("remove", parents=[telemetry],
+                                 help="delete an imported workload")
+    p_trm.add_argument("name")
+
+    p_work = sub.add_parser("workloads", parents=[telemetry],
+                            help="sweep the workload bank (suite + "
+                                 "adversarial + imported) through the "
+                                 "predictor zoo")
+    p_work.add_argument("--groups", default="suite,adversarial,imported",
+                        help="comma-separated bank groups (default: all)")
+    p_work.add_argument("--only", help="comma-separated workload subset")
+    p_work.add_argument("--predictors",
+                        default="stride,dfcm,gdiff8,gdiff32",
+                        help="comma-separated zoo subset "
+                             "(default stride,dfcm,gdiff8,gdiff32)")
+    p_work.add_argument("--length", type=int, default=None,
+                        help="trace length (default: the adversarial "
+                             "bank's calibrated length)")
+    p_work.add_argument("--check", action="store_true",
+                        help="gate adversarial accuracies against their "
+                             "declared bands; exit 2 on drift")
+    p_work.add_argument("--smoke", action="store_true",
+                        help="CI shape: adversarial + imported groups at "
+                             "the calibrated length with --check")
 
     p_pred = sub.add_parser("predict", parents=[telemetry],
                             help="profile accuracy comparison")
-    p_pred.add_argument("benchmark", choices=BENCHMARKS)
+    p_pred.add_argument("benchmark",
+                        help="suite benchmark, adversarial scenario, or "
+                             "imported workload")
     p_pred.add_argument("--length", type=int, default=100_000)
     p_pred.add_argument("--predictors",
                         default="stride,dfcm,gdiff8,gdiff32")
@@ -895,7 +1149,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_sim = sub.add_parser("simulate", parents=[telemetry],
                            help="run the OOO core")
-    p_sim.add_argument("benchmark", choices=BENCHMARKS)
+    p_sim.add_argument("benchmark",
+                       help="suite benchmark, adversarial scenario, or "
+                            "imported workload")
     p_sim.add_argument("--length", type=int, default=50_000)
     p_sim.add_argument("--vp", help="value-prediction scheme "
                                     "(stride|dfcm|sgvq|hgvq|gdiff-sgvq|"
@@ -1105,6 +1361,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="offered rate for --mode open")
     p_load.add_argument("--bench", help="comma-separated workload subset "
                                         "for stream content")
+    p_load.add_argument("--trace", metavar="NAME",
+                        help="replay one workload (e.g. an imported "
+                             "trace) on every stream; overrides --bench")
     p_load.add_argument("--verify", action="store_true",
                         help="after the run, check every stream's stats "
                              "are bit-identical to the batch harness "
@@ -1114,7 +1373,19 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: Action words of the nested ``trace`` subcommand; anything else after
+#: ``trace`` keeps its historical generate meaning.
+_TRACE_ACTIONS = ("gen", "import", "list", "info", "remove")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Back-compat: ``repro trace <benchmark>`` predates the nested trace
+    # actions and still has to work (scripts, docs, muscle memory).
+    if (argv[:1] == ["trace"] and len(argv) > 1
+            and argv[1] not in _TRACE_ACTIONS
+            and not argv[1].startswith("-")):
+        argv.insert(1, "gen")
     args = build_parser().parse_args(argv)
     if getattr(args, "verbose", 0):
         configure_logging(args.verbose)
@@ -1122,6 +1393,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "list": cmd_list,
         "run": cmd_run,
         "trace": cmd_trace,
+        "workloads": cmd_workloads,
         "predict": cmd_predict,
         "simulate": cmd_simulate,
         "run-all": cmd_run_all,

@@ -10,9 +10,19 @@ from .runner import (
     run_value_prediction,
     warm_then_measure,
 )
+from .workbank import (
+    BANK_GROUPS,
+    DEFAULT_BANK_PREDICTORS,
+    render_bank,
+    run_bank,
+)
 
 __all__ = [
     "run_value_prediction",
+    "run_bank",
+    "render_bank",
+    "BANK_GROUPS",
+    "DEFAULT_BANK_PREDICTORS",
     "run_address_prediction",
     "warm_then_measure",
     "EXPERIMENTS",

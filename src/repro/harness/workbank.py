@@ -1,0 +1,190 @@
+"""Unified workload-bank runner behind ``repro workloads``.
+
+The *bank* is every workload the repo knows how to produce, in three
+groups (docs/WORKLOADS.md):
+
+* ``suite`` — the synthetic SPECint2000-like benchmarks,
+* ``adversarial`` — the stress scenarios in
+  :mod:`repro.trace.workloads.adversarial`, and
+* ``imported`` — recorded traces registered through ``repro trace
+  import`` (:mod:`repro.trace.ingest`).
+
+:func:`run_bank` sweeps a selection of the bank through a predictor zoo
+subset and returns one row per workload plus, for the adversarial bank,
+the outcome of its accuracy expectations — the bank's fidelity gate
+(`repro workloads --check`, wired into CI as the ``ingest`` job).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core import GDiffPredictor
+from ..predictors import (
+    DFCMPredictor,
+    LastValuePredictor,
+    StridePredictor,
+)
+from .runner import run_value_prediction
+
+#: Group sweep order (also the rendering order).
+BANK_GROUPS = ("suite", "adversarial", "imported")
+
+#: The zoo subset swept by default: the paper's main comparison set.
+DEFAULT_BANK_PREDICTORS = ("stride", "dfcm", "gdiff8", "gdiff32")
+
+#: Factories for every predictor ``repro workloads`` can sweep.
+BANK_ZOO: Dict[str, Callable[[], object]] = {
+    "last-value": lambda: LastValuePredictor(entries=None),
+    "stride": lambda: StridePredictor(entries=None),
+    "dfcm": lambda: DFCMPredictor(l1_entries=None),
+    "gdiff8": lambda: GDiffPredictor(order=8, entries=None),
+    "gdiff32": lambda: GDiffPredictor(order=32, entries=None),
+}
+
+
+@dataclass
+class BankCheck:
+    """One adversarial expectation: raw accuracy within ``[lo, hi]``."""
+
+    workload: str
+    predictor: str
+    lo: float
+    hi: float
+    actual: float
+
+    @property
+    def ok(self) -> bool:
+        return self.lo <= self.actual <= self.hi
+
+    def render(self) -> str:
+        mark = "PASS" if self.ok else "FAIL"
+        return (f"  {mark}  {self.workload}/{self.predictor}: "
+                f"raw accuracy {self.actual:.4f} expected "
+                f"[{self.lo:.2f}, {self.hi:.2f}]")
+
+
+@dataclass
+class BankRow:
+    """One swept workload: its group and per-predictor raw accuracy."""
+
+    workload: str
+    group: str
+    length: int
+    value_events: int
+    accuracy: Dict[str, float] = field(default_factory=dict)
+
+
+def bank_predictors(names: Optional[Sequence[str]] = None,
+                    ) -> Dict[str, Callable[[], object]]:
+    """Validate *names* against the zoo; default to the comparison set."""
+    chosen = list(names) if names else list(DEFAULT_BANK_PREDICTORS)
+    unknown = [n for n in chosen if n not in BANK_ZOO]
+    if unknown:
+        raise ValueError(f"unknown predictor(s): {unknown}; "
+                         f"choose from {sorted(BANK_ZOO)}")
+    return {name: BANK_ZOO[name] for name in chosen}
+
+
+def bank_members(groups: Sequence[str] = BANK_GROUPS,
+                 only: Optional[Sequence[str]] = None,
+                 ) -> List[Tuple[str, str]]:
+    """Resolve the sweep list as ``(workload, group)`` pairs, in order."""
+    from ..trace.ingest.store import imported_names
+    from ..trace.workloads import BENCHMARKS
+    from ..trace.workloads.adversarial import SCENARIOS
+
+    unknown = [g for g in groups if g not in BANK_GROUPS]
+    if unknown:
+        raise ValueError(f"unknown group(s): {unknown}; "
+                         f"choose from {list(BANK_GROUPS)}")
+    pool: List[Tuple[str, str]] = []
+    if "suite" in groups:
+        pool += [(name, "suite") for name in BENCHMARKS]
+    if "adversarial" in groups:
+        pool += [(name, "adversarial") for name in SCENARIOS]
+    if "imported" in groups:
+        pool += [(name, "imported") for name in imported_names()]
+    if only:
+        known = {name for name, _ in pool}
+        missing = [name for name in only if name not in known]
+        if missing:
+            raise ValueError(f"workload(s) not in the selected groups: "
+                             f"{missing}")
+        pool = [(name, group) for name, group in pool if name in only]
+    return pool
+
+
+def run_bank(*, groups: Sequence[str] = BANK_GROUPS,
+             only: Optional[Sequence[str]] = None,
+             predictors: Optional[Sequence[str]] = None,
+             length: Optional[int] = None,
+             check: bool = False,
+             metrics=None,
+             on_progress: Optional[Callable[[int, int], None]] = None,
+             ) -> Tuple[List[BankRow], List[BankCheck]]:
+    """Sweep the selected bank through the predictor zoo subset.
+
+    With *check*, every adversarial workload's declared accuracy bands
+    (:data:`repro.trace.workloads.adversarial.EXPECTATIONS`) are
+    evaluated; the bands are calibrated at
+    :data:`~repro.trace.workloads.adversarial.EXPECT_LENGTH`, so *length*
+    must be left at its default (or set to exactly that) for the gate to
+    be meaningful — anything else is rejected.
+
+    Returns ``(rows, checks)``; ``checks`` is empty unless *check*.
+    """
+    from ..trace.cache import cached_trace
+    from ..trace.workloads.adversarial import EXPECTATIONS, EXPECT_LENGTH
+
+    sweep_length = EXPECT_LENGTH if length is None else length
+    if check and sweep_length != EXPECT_LENGTH:
+        raise ValueError(
+            f"--check gates bands calibrated at length {EXPECT_LENGTH}; "
+            f"drop --length {sweep_length} or match it")
+    members = bank_members(groups, only)
+    zoo = bank_predictors(predictors)
+    rows: List[BankRow] = []
+    checks: List[BankCheck] = []
+    for index, (name, group) in enumerate(members):
+        trace = cached_trace(name, sweep_length)
+        stats = run_value_prediction(
+            trace, {pname: make() for pname, make in zoo.items()},
+            metrics=metrics)
+        row = BankRow(workload=name, group=group, length=len(trace),
+                      value_events=next(iter(stats.values())).attempts
+                      if stats else 0,
+                      accuracy={pname: s.raw_accuracy
+                                for pname, s in stats.items()})
+        rows.append(row)
+        if check and group == "adversarial":
+            for pname, (lo, hi) in EXPECTATIONS.get(name, {}).items():
+                if pname in row.accuracy:
+                    checks.append(BankCheck(name, pname, lo, hi,
+                                            row.accuracy[pname]))
+        if on_progress is not None:
+            on_progress(index + 1, len(members))
+    return rows, checks
+
+
+def render_bank(rows: Sequence[BankRow], checks: Sequence[BankCheck],
+                predictors: Sequence[str]) -> List[str]:
+    """ASCII table over the swept rows plus the expectation verdicts."""
+    width = max([len("workload")] + [len(r.workload) for r in rows])
+    header = (f"{'workload':{width}s} {'group':11s} {'values':>8s}  "
+              + " ".join(f"{p:>10s}" for p in predictors))
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        cells = " ".join(
+            f"{row.accuracy[p]:10.1%}" if p in row.accuracy
+            else f"{'-':>10s}" for p in predictors)
+        lines.append(f"{row.workload:{width}s} {row.group:11s} "
+                     f"{row.value_events:>8,d}  {cells}")
+    if checks:
+        failed = [c for c in checks if not c.ok]
+        lines.append("")
+        lines.append(f"expectations: {len(checks) - len(failed)}/"
+                     f"{len(checks)} within band")
+        lines += [c.render() for c in checks]
+    return lines

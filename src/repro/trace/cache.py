@@ -76,6 +76,22 @@ def _resolve(workload: Union[str, WorkloadSpec]) -> WorkloadSpec:
     return get(workload)
 
 
+def effective_length(spec: WorkloadSpec, length: int) -> int:
+    """Clamp *length* to a finite workload's recording.
+
+    Synthetic generators are endless, but imported workloads
+    (:class:`repro.trace.ingest.store.ImportedWorkloadSpec`) carry a
+    ``fixed_length``: asking for more instructions than the recording
+    holds silently serves the whole recording.  Every tier (memo, shm,
+    disk) keys on the clamped length, so an over-long request and an
+    exact request share one entry instead of regenerating forever.
+    """
+    fixed = getattr(spec, "fixed_length", None)
+    if fixed is None:
+        return length
+    return min(length, int(fixed))
+
+
 class TraceCache:
     """Load-or-generate store of packed workload traces.
 
@@ -214,6 +230,14 @@ class TraceCache:
         """
         spec = _resolve(workload)
         effective_seed = spec.seed if seed is None else seed
+        length = effective_length(spec, length)
+        if (hasattr(spec, "load_full")
+                and length == getattr(spec, "fixed_length", None)):
+            # The whole recording: serve the imported store's canonical
+            # file directly instead of duplicating it as a cache entry.
+            self._count("hit")
+            self._count("imported_hit")
+            return spec.load_full()
         path = self.entry_path(spec.name, length, effective_seed, code_copies)
         packed = self._try_load(path, length)
         if packed is not None:
@@ -288,9 +312,11 @@ class TraceCache:
         for i, workload in enumerate(names):
             spec = _resolve(workload)
             effective_seed = spec.seed if seed is None else seed
-            path = self.entry_path(spec.name, length, effective_seed,
+            eff_length = effective_length(spec, length)
+            path = self.entry_path(spec.name, eff_length, effective_seed,
                                    code_copies)
-            hit = path.exists()
+            hit = (path.exists()
+                   or eff_length == getattr(spec, "fixed_length", None))
             if not hit:
                 self.load_or_generate(spec, length, seed=seed,
                                       code_copies=code_copies)
@@ -314,8 +340,9 @@ class TraceCache:
         return found
 
     def stats(self) -> Dict[str, object]:
-        """Entry count, total size, per-entry listing, and this process's
-        hit/miss counters; mirrored into the metrics registry as gauges."""
+        """Entry count, total size, per-entry listing, a per-origin
+        (generated vs imported) breakdown, and this process's hit/miss
+        counters; mirrored into the metrics registry as gauges."""
         entries = self.entries()
         total = sum(size for _name, size in entries)
         counters = {}
@@ -332,7 +359,43 @@ class TraceCache:
             "bytes": total,
             "files": [{"name": name, "bytes": size}
                       for name, size in entries],
+            "origins": self._origins(entries),
             "counters": counters,
+        }
+
+    @staticmethod
+    def _origins(entries: List[Tuple[str, int]]) -> Dict[str, object]:
+        """Per-origin breakdown of the cache's contents.
+
+        ``generated`` / ``imported`` split the cache entries by whether
+        their workload name belongs to the imported store (imported
+        entries exist only for truncated replays — full-length loads are
+        served from the store's canonical file, reported under
+        ``imported_store``).
+        """
+        from .ingest import store as ingest_store
+
+        imported = ingest_store.imported_names()
+        prefixes = tuple(f"{name}-L" for name in imported)
+        split = {"generated": [0, 0], "imported": [0, 0]}
+        for name, size in entries:
+            origin = "imported" if name.startswith(prefixes) else "generated"
+            split[origin][0] += 1
+            split[origin][1] += size
+        store_bytes = 0
+        for name in imported:
+            try:
+                store_bytes += ingest_store.trace_path(name).stat().st_size
+            except OSError:
+                pass
+        return {
+            "generated": {"entries": split["generated"][0],
+                          "bytes": split["generated"][1]},
+            "imported": {"entries": split["imported"][0],
+                         "bytes": split["imported"][1]},
+            "imported_store": {"root": str(ingest_store.imported_root()),
+                               "workloads": len(imported),
+                               "bytes": store_bytes},
         }
 
     def clear(self) -> int:
@@ -443,6 +506,7 @@ def cached_trace(workload: Union[str, WorkloadSpec], length: int,
     if cache_enabled():
         spec = _resolve(workload)
         effective_seed = spec.seed if seed is None else seed
+        length = effective_length(spec, length)
         memo_key = (str(cache_root()), spec.name, length, effective_seed,
                     code_copies)
         hit = _memo_get(memo_key, metrics)

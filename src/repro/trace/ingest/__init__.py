@@ -1,0 +1,39 @@
+"""Workload ingestion plane: external streams in, packed workloads out.
+
+Three adapter families behind one :class:`TraceAdapter` interface:
+
+* file-format importers (:mod:`.formats`) — the CSV/ndjson interchange
+  format plus CVP-style and ChampSim-style binary dumps;
+* live capture (:mod:`.capture`) — record a value trace from a running
+  Python program via ``sys.settrace`` bytecode hooks;
+* the adversarial synthetic bank lives with the other generators under
+  :mod:`repro.trace.workloads.adversarial` (it needs no import step).
+
+:mod:`.store` lands conversions in the imported-workload store with a
+provenance manifest and exposes them as first-class workload specs.
+CLI: ``repro trace import | list | info`` and ``repro workloads``.
+"""
+
+from .base import (IngestError, TraceAdapter, adapter_names, get_adapter,
+                   register)
+from .capture import capture_script
+from .store import (ImportedWorkloadSpec, get_spec, import_trace,
+                    imported_names, imported_root, load_imported, manifest,
+                    remove)
+
+__all__ = [
+    "IngestError",
+    "TraceAdapter",
+    "adapter_names",
+    "get_adapter",
+    "register",
+    "capture_script",
+    "ImportedWorkloadSpec",
+    "get_spec",
+    "import_trace",
+    "imported_names",
+    "imported_root",
+    "load_imported",
+    "manifest",
+    "remove",
+]

@@ -1,0 +1,350 @@
+"""File-format import adapters: CSV/ndjson interchange, CVP, ChampSim.
+
+All four adapters stream — one record in, one :class:`Instruction` out —
+and report malformed input as :class:`IngestError` with the offending
+line (text formats) or byte offset (binary formats).  Sources ending in
+``.gz`` are gunzipped transparently; offsets then refer to the
+decompressed stream.
+
+**CSV / ndjson interchange format** (documented in docs/WORKLOADS.md):
+one value-producing event per row, ``pc, value[, addr[, is_load]]``.
+Integers are decimal or ``0x``-prefixed hex; negative values are encoded
+as their 64-bit two's complement.  A row with a truthy ``is_load``
+becomes a ``LOAD`` (with ``addr`` as its effective address), otherwise
+an ``IALU``.  CSV accepts an optional header row naming those columns;
+ndjson uses one JSON object per line with the same keys.
+
+**CVP-style records** (``.cvp``): a flat sequence of little-endian
+binary records, each a one-byte kind tag plus fixed fields — see
+``_CVP_BODIES``.  This mirrors the shape of the Championship Value
+Prediction traces (pc + result value per value-producing instruction,
+plus memory/branch records) without their instruction-cracking layer.
+
+**ChampSim-style records** (``.champsimtrace``): the 64-byte
+``input_instr`` layout (ip, branch flags, 2 destination + 4 source
+registers, 2 destination + 4 source memory addresses).  ChampSim traces
+carry *no result values*, so the import convention is: a load's "value"
+is its effective address — turning the trace into an address-value
+workload in the spirit of the paper's Section 6 load-address streams —
+and register-writing ALU instructions become non-value-producing.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Union
+
+from ..isa import Instruction, OpClass
+from .base import IngestError, TraceAdapter, open_source, register
+
+_WORD_MASK = (1 << 64) - 1
+
+#: Destination register assigned to interchange-format events (the
+#: predictors key on PC, not on the register number).
+_INTERCHANGE_DEST = 1
+
+_CSV_HEADER_NAMES = {"pc", "value", "addr", "is_load"}
+_TRUTHY = {"1", "true", "t", "yes", "y"}
+_FALSY = {"0", "false", "f", "no", "n", ""}
+
+
+def _parse_word(token: str, line: int, source, what: str) -> int:
+    token = token.strip()
+    try:
+        value = int(token, 0)
+    except ValueError:
+        raise IngestError(f"bad {what} field {token!r}",
+                          source=source, line=line) from None
+    return value & _WORD_MASK
+
+
+def _parse_flag(token: str, line: int, source) -> bool:
+    token = token.strip().lower()
+    if token in _TRUTHY:
+        return True
+    if token in _FALSY:
+        return False
+    raise IngestError(f"bad is_load field {token!r}", source=source,
+                      line=line)
+
+
+def _interchange_event(pc: int, value: int, addr: Optional[int],
+                       is_load: bool) -> Instruction:
+    if is_load:
+        return Instruction(pc=pc, op=OpClass.LOAD, dest=_INTERCHANGE_DEST,
+                           value=value, addr=addr)
+    return Instruction(pc=pc, op=OpClass.IALU, dest=_INTERCHANGE_DEST,
+                       value=value, addr=addr)
+
+
+class CsvAdapter(TraceAdapter):
+    """``pc,value[,addr[,is_load]]`` rows, optional header line."""
+
+    name = "csv"
+    description = "CSV interchange rows: pc,value[,addr[,is_load]]"
+    suffixes = (".csv",)
+
+    def events(self, source: Union[str, Path],
+               options: Optional[Dict[str, object]] = None,
+               ) -> Iterator[Instruction]:
+        self._reset()
+        rows = 0
+        lineno = 0
+        try:
+            with open_source(source, "rt") as fh:
+                for lineno, raw in enumerate(fh, start=1):
+                    line = raw.strip()
+                    if not line or line.startswith("#"):
+                        continue
+                    fields = line.split(",")
+                    if rows == 0 and _is_header(fields):
+                        continue
+                    if not 2 <= len(fields) <= 4:
+                        raise IngestError(
+                            f"expected 2-4 fields, got {len(fields)}",
+                            source=source, line=lineno)
+                    pc = _parse_word(fields[0], lineno, source, "pc")
+                    value = _parse_word(fields[1], lineno, source, "value")
+                    addr = None
+                    if len(fields) > 2 and fields[2].strip():
+                        addr = _parse_word(fields[2], lineno, source, "addr")
+                    is_load = (len(fields) > 3
+                               and _parse_flag(fields[3], lineno, source))
+                    rows += 1
+                    yield _interchange_event(pc, value, addr, is_load)
+        except UnicodeDecodeError as exc:
+            raise IngestError(f"not a text file: {exc}", source=source,
+                              line=lineno + 1) from None
+        if rows == 0:
+            raise IngestError("no events in source", source=source)
+
+
+def _is_header(fields) -> bool:
+    names = {f.strip().lower() for f in fields}
+    return bool(names) and names <= _CSV_HEADER_NAMES
+
+
+class NdjsonAdapter(TraceAdapter):
+    """One ``{"pc":.., "value":..[, "addr":..][, "is_load":..]}`` per line."""
+
+    name = "ndjson"
+    description = "ndjson interchange objects: pc/value/addr/is_load keys"
+    suffixes = (".ndjson", ".jsonl")
+
+    def events(self, source: Union[str, Path],
+               options: Optional[Dict[str, object]] = None,
+               ) -> Iterator[Instruction]:
+        self._reset()
+        rows = 0
+        lineno = 0
+        try:
+            with open_source(source, "rt") as fh:
+                for lineno, raw in enumerate(fh, start=1):
+                    line = raw.strip()
+                    if not line:
+                        continue
+                    try:
+                        obj = json.loads(line)
+                    except json.JSONDecodeError as exc:
+                        raise IngestError(f"bad JSON: {exc.msg}",
+                                          source=source, line=lineno) from None
+                    if not isinstance(obj, dict):
+                        raise IngestError("expected a JSON object",
+                                          source=source, line=lineno)
+                    unknown = set(obj) - _CSV_HEADER_NAMES
+                    if unknown:
+                        raise IngestError(
+                            f"unknown keys {sorted(unknown)}",
+                            source=source, line=lineno)
+                    try:
+                        pc = int(obj["pc"]) & _WORD_MASK
+                        value = int(obj["value"]) & _WORD_MASK
+                    except (KeyError, TypeError, ValueError):
+                        raise IngestError(
+                            "each object needs integer 'pc' and 'value'",
+                            source=source, line=lineno) from None
+                    addr = obj.get("addr")
+                    if addr is not None:
+                        try:
+                            addr = int(addr) & _WORD_MASK
+                        except (TypeError, ValueError):
+                            raise IngestError(
+                                "bad 'addr'", source=source,
+                                line=lineno) from None
+                    rows += 1
+                    yield _interchange_event(pc, value, addr,
+                                             bool(obj.get("is_load")))
+        except UnicodeDecodeError as exc:
+            raise IngestError(f"not a text file: {exc}", source=source,
+                              line=lineno + 1) from None
+        if rows == 0:
+            raise IngestError("no events in source", source=source)
+
+
+# -- CVP-style binary records -------------------------------------------------
+
+_CVP_ALU, _CVP_LOAD, _CVP_STORE, _CVP_BRANCH = range(4)
+_CVP_BODIES = {
+    _CVP_ALU: struct.Struct("<QQ"),      # pc, value
+    _CVP_LOAD: struct.Struct("<QQQ"),    # pc, addr, value
+    _CVP_STORE: struct.Struct("<QQ"),    # pc, addr
+    _CVP_BRANCH: struct.Struct("<QBQ"),  # pc, taken, target
+}
+
+
+class CvpAdapter(TraceAdapter):
+    """Tagged little-endian records: kind(u8) + per-kind fields."""
+
+    name = "cvp"
+    description = "CVP-style tagged binary records (alu/load/store/branch)"
+    suffixes = (".cvp",)
+
+    def events(self, source: Union[str, Path],
+               options: Optional[Dict[str, object]] = None,
+               ) -> Iterator[Instruction]:
+        self._reset()
+        offset = 0
+        with open_source(source, "rb") as fh:
+            read = fh.read
+            while True:
+                head = read(1)
+                if not head:
+                    break
+                kind = head[0]
+                body_struct = _CVP_BODIES.get(kind)
+                if body_struct is None:
+                    raise IngestError(f"unknown record kind {kind}",
+                                      source=source, offset=offset)
+                body = read(body_struct.size)
+                if len(body) != body_struct.size:
+                    raise IngestError(
+                        f"truncated record (kind {kind}: got {len(body)} of "
+                        f"{body_struct.size} body bytes)",
+                        source=source, offset=offset)
+                fields = body_struct.unpack(body)
+                if kind == _CVP_ALU:
+                    pc, value = fields
+                    yield Instruction(pc=pc, op=OpClass.IALU,
+                                      dest=_INTERCHANGE_DEST, value=value)
+                elif kind == _CVP_LOAD:
+                    pc, addr, value = fields
+                    yield Instruction(pc=pc, op=OpClass.LOAD,
+                                      dest=_INTERCHANGE_DEST, value=value,
+                                      addr=addr)
+                elif kind == _CVP_STORE:
+                    pc, addr = fields
+                    yield Instruction(pc=pc, op=OpClass.STORE, addr=addr)
+                else:
+                    pc, taken, target = fields
+                    yield Instruction(pc=pc, op=OpClass.BRANCH,
+                                      taken=bool(taken), target=target)
+                offset += 1 + body_struct.size
+        if offset == 0:
+            raise IngestError("no events in source", source=source)
+
+
+def write_cvp(events: "Iterator[Instruction]", path: Union[str, Path]) -> int:
+    """Write *events* as CVP-style records (test/benchmark helper)."""
+    count = 0
+    with open(path, "wb") as fh:
+        for insn in events:
+            if insn.op is OpClass.LOAD:
+                fh.write(bytes([_CVP_LOAD]))
+                fh.write(_CVP_BODIES[_CVP_LOAD].pack(
+                    insn.pc, insn.addr or 0, insn.value or 0))
+            elif insn.op is OpClass.STORE:
+                fh.write(bytes([_CVP_STORE]))
+                fh.write(_CVP_BODIES[_CVP_STORE].pack(insn.pc, insn.addr or 0))
+            elif insn.op is OpClass.BRANCH:
+                fh.write(bytes([_CVP_BRANCH]))
+                fh.write(_CVP_BODIES[_CVP_BRANCH].pack(
+                    insn.pc, int(bool(insn.taken)), insn.target or 0))
+            else:
+                fh.write(bytes([_CVP_ALU]))
+                fh.write(_CVP_BODIES[_CVP_ALU].pack(insn.pc, insn.value or 0))
+            count += 1
+    return count
+
+
+# -- ChampSim-style fixed records ---------------------------------------------
+
+#: ChampSim's ``input_instr``: ip, is_branch, branch_taken,
+#: destination_registers[2], source_registers[4],
+#: destination_memory[2], source_memory[4] — 64 bytes little-endian.
+_CHAMPSIM_RECORD = struct.Struct("<QBB2B4B2Q4Q")
+_CHAMPSIM_SIZE = _CHAMPSIM_RECORD.size
+assert _CHAMPSIM_SIZE == 64
+_SRC_REG_MASK = 0x3F  # packed srcs hold 6-bit register numbers
+
+
+class ChampSimAdapter(TraceAdapter):
+    """64-byte ChampSim ``input_instr`` records (loads: value := address)."""
+
+    name = "champsim"
+    description = ("ChampSim 64-byte input_instr records "
+                   "(load value := effective address)")
+    suffixes = (".champsimtrace", ".champsim")
+
+    def events(self, source: Union[str, Path],
+               options: Optional[Dict[str, object]] = None,
+               ) -> Iterator[Instruction]:
+        self._reset()
+        offset = 0
+        with open_source(source, "rb") as fh:
+            while True:
+                record = fh.read(_CHAMPSIM_SIZE)
+                if not record:
+                    break
+                if len(record) != _CHAMPSIM_SIZE:
+                    raise IngestError(
+                        f"truncated record (got {len(record)} of "
+                        f"{_CHAMPSIM_SIZE} bytes)", source=source,
+                        offset=offset)
+                (ip, is_branch, taken, d0, d1, s0, s1, s2, s3,
+                 dmem0, dmem1, smem0, smem1, smem2, smem3,
+                 ) = _CHAMPSIM_RECORD.unpack(record)
+                srcs = tuple(r & _SRC_REG_MASK for r in (s0, s1, s2, s3) if r)
+                if is_branch:
+                    yield Instruction(pc=ip, op=OpClass.BRANCH, srcs=srcs,
+                                      taken=bool(taken))
+                elif smem0:
+                    # No result values in this format: a load's "value"
+                    # is its effective address (Section 6 convention).
+                    yield Instruction(pc=ip, op=OpClass.LOAD,
+                                      dest=d0 or _INTERCHANGE_DEST,
+                                      srcs=srcs, value=smem0, addr=smem0)
+                elif dmem0:
+                    yield Instruction(pc=ip, op=OpClass.STORE, srcs=srcs,
+                                      addr=dmem0)
+                elif d0 or d1:
+                    yield Instruction(pc=ip, op=OpClass.IALU,
+                                      dest=d0 or d1, srcs=srcs)
+                else:
+                    yield Instruction(pc=ip, op=OpClass.NOP)
+                offset += _CHAMPSIM_SIZE
+        if offset == 0:
+            raise IngestError("no events in source", source=source)
+
+
+def write_champsim(records, path: Union[str, Path]) -> int:
+    """Write raw ``(ip, is_branch, taken, dregs, sregs, dmem, smem)``
+    tuples as ChampSim records (test/benchmark helper)."""
+    count = 0
+    with open(path, "wb") as fh:
+        for ip, is_branch, taken, dregs, sregs, dmem, smem in records:
+            dregs = (tuple(dregs) + (0, 0))[:2]
+            sregs = (tuple(sregs) + (0, 0, 0, 0))[:4]
+            dmem = (tuple(dmem) + (0, 0))[:2]
+            smem = (tuple(smem) + (0, 0, 0, 0))[:4]
+            fh.write(_CHAMPSIM_RECORD.pack(ip, int(is_branch), int(taken),
+                                           *dregs, *sregs, *dmem, *smem))
+            count += 1
+    return count
+
+
+register(CsvAdapter())
+register(NdjsonAdapter())
+register(CvpAdapter())
+register(ChampSimAdapter())

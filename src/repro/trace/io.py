@@ -70,6 +70,29 @@ class TraceFormatError(ValueError):
     """A binary trace file is corrupt, truncated, or of the wrong version."""
 
 
+class IngestError(TraceFormatError):
+    """An external import source is malformed, truncated, or empty.
+
+    Raised by every ingest adapter in place of bare ``struct.error`` /
+    ``zlib.error`` / ``UnicodeDecodeError`` / ``ValueError`` so callers
+    can report *where* the source went bad: ``offset`` is the byte
+    offset of the offending record for binary sources, ``line`` the
+    1-based line number for text sources (whichever applies is set).
+    """
+
+    def __init__(self, message: str, *, source=None, offset=None, line=None):
+        where = ""
+        if line is not None:
+            where = f" (line {line})"
+        elif offset is not None:
+            where = f" (byte offset {offset})"
+        prefix = f"{source}: " if source is not None else ""
+        super().__init__(f"{prefix}{message}{where}")
+        self.source = None if source is None else str(source)
+        self.offset = offset
+        self.line = line
+
+
 def _open(path: Union[str, Path], mode: str):
     path = Path(path)
     if path.suffix == ".gz":

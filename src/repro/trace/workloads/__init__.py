@@ -61,14 +61,50 @@ _MODULES = {
 
 
 def get(name: str) -> WorkloadSpec:
-    """Return a fresh :class:`WorkloadSpec` for benchmark *name*."""
-    try:
-        module = _MODULES[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown benchmark {name!r}; choose from {BENCHMARKS}"
-        ) from None
-    return module.spec()
+    """Return a fresh :class:`WorkloadSpec` for workload *name*.
+
+    Resolution order: the synthetic SPECint-like suite, the adversarial
+    bank (:mod:`.adversarial`), then the imported-workload store
+    (:mod:`repro.trace.ingest.store`) — so every consumer (cache, shm
+    plane, campaigns, serve) accepts imported and adversarial names
+    wherever a benchmark name is accepted.
+    """
+    module = _MODULES.get(name)
+    if module is not None:
+        return module.spec()
+    from . import adversarial
+
+    if name in adversarial.SCENARIOS:
+        return adversarial.get(name)
+    from ..ingest import store as ingest_store
+
+    if name in ingest_store.imported_names():
+        return ingest_store.get_spec(name)
+    raise KeyError(
+        f"unknown workload {name!r}; choose from {known_names()}"
+    ) from None
+
+
+def known_names() -> List[str]:
+    """Every resolvable workload name: suite, adversarial bank, imports."""
+    from . import adversarial
+    from ..ingest import store as ingest_store
+
+    return list(BENCHMARKS) + list(adversarial.SCENARIOS) + \
+        ingest_store.imported_names()
+
+
+def is_known(name: str) -> bool:
+    """True when :func:`get` would resolve *name*."""
+    if name in _MODULES:
+        return True
+    from . import adversarial
+
+    if name in adversarial.SCENARIOS:
+        return True
+    from ..ingest import store as ingest_store
+
+    return name in ingest_store.imported_names()
 
 
 def all_specs() -> Dict[str, WorkloadSpec]:

@@ -1,0 +1,54 @@
+"""The adversarial stream bank: hostile synthetic scenarios.
+
+Four scenarios, each targeting a different steady-state assumption the
+predictor zoo relies on (catalogued in docs/WORKLOADS.md):
+
+* ``adv-phase-shift`` — phase-shifting kernel mixes: the stream cycles
+  between stride-friendly, context-friendly and global-only regimes.
+* ``adv-drift`` — generational drift: strides and periodic value sets
+  silently mutate, so tables decay instead of converging.
+* ``adv-burst`` — bursty interleaving of two programs over *aliased*
+  PC ranges (context switches thrash PC-indexed state).
+* ``adv-entropy-ramp`` — value entropy that ramps continuously between
+  perfectly-strided and pure noise.
+
+Resolve them through :func:`repro.trace.workloads.get` like any
+benchmark; the ``repro workloads`` runner sweeps the bank and gates on
+:data:`EXPECTATIONS`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ...synthetic import WorkloadSpec
+from .scenarios import (EXPECT_LENGTH, EXPECTATIONS, burst, drift,
+                        entropy_ramp, phase_shift)
+
+_FACTORIES = {
+    "adv-phase-shift": phase_shift,
+    "adv-drift": drift,
+    "adv-burst": burst,
+    "adv-entropy-ramp": entropy_ramp,
+}
+
+#: Scenario names in catalog order.
+SCENARIOS: List[str] = list(_FACTORIES)
+
+
+def get(name: str) -> WorkloadSpec:
+    """Return a fresh spec for adversarial scenario *name*."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise KeyError(f"unknown adversarial scenario {name!r}; "
+                       f"choose from {SCENARIOS}") from None
+    return factory()
+
+
+def all_specs() -> Dict[str, WorkloadSpec]:
+    """Return {name: spec} for the whole bank, in catalog order."""
+    return {name: get(name) for name in SCENARIOS}
+
+
+__all__ = ["SCENARIOS", "EXPECTATIONS", "EXPECT_LENGTH", "get", "all_specs"]

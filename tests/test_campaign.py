@@ -131,7 +131,7 @@ class TestSpec:
             })
 
     def test_unknown_benchmark_rejected(self):
-        with pytest.raises(SpecError, match="unknown benchmark"):
+        with pytest.raises(SpecError, match="unknown workload"):
             mini_spec(matrix={"length": [4000], "benchmarks": [["nginx"]]})
 
     def test_empty_grid_rejected(self):

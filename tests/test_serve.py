@@ -372,6 +372,28 @@ class TestLoadgen:
         assert verify["checked"] == 4
         assert verify["matched"] == 4, verify["mismatches"]
 
+    def test_imported_trace_replay_verifies(self, engine_factory,
+                                            tmp_path, monkeypatch):
+        """`repro loadgen --trace <imported>`: recorded streams replayed
+        through the daemon stay bit-identical to the batch harness."""
+        from repro.trace.ingest import import_trace
+
+        monkeypatch.setenv("REPRO_IMPORT_DIR", str(tmp_path / "imported"))
+        source = tmp_path / "replay.csv"
+        source.write_text(
+            "\n".join(f"{0x400000 + (i % 6) * 4},{i * 11 % (1 << 31)}"
+                      for i in range(400)) + "\n", encoding="utf-8")
+        import_trace(source, name="replay")
+        engine = engine_factory()
+        host, port = engine.address
+        report = run_loadgen(host, port, streams=3, events_per_stream=120,
+                             frame_events=48, predictor="gdiff8",
+                             workloads=("replay",), verify=True)
+        assert report["errors"] == 0
+        verify = report["verify"]
+        assert verify["matched"] == verify["checked"] == 3, \
+            verify["mismatches"]
+
     def test_open_loop_reports_offered_rate(self, engine_factory):
         engine = engine_factory()
         host, port = engine.address
